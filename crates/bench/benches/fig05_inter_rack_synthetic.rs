@@ -1,0 +1,35 @@
+//! Figure 5: inter-rack VM assignments on the synthetic random workload.
+//!
+//! Prints the regenerated Figure 5 table (paper: NULB 255, NALB 255,
+//! RISA 7, RISA-BF 2), then benchmarks the full 2500-VM simulation per
+//! algorithm.
+
+use criterion::{BenchmarkId, Criterion};
+use risa_sim::{experiments, Algorithm, SimulationBuilder, WorkloadSpec};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig05_full_sim_2500vms");
+    g.sample_size(10);
+    for algo in Algorithm::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(algo), &algo, |b, &algo| {
+            b.iter(|| {
+                SimulationBuilder::new()
+                    .algorithm(algo)
+                    .workload(WorkloadSpec::synthetic_paper(42))
+                    .build()
+                    .run()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn main() {
+    println!("{}", risa_sim::host_info());
+    println!("{}", experiments::fig5(42));
+    println!("paper: NULB 255, NALB 255, RISA 7, RISA-BF 2 inter-rack; CPU 64.66% RAM 65.11% STO 31.72%\n");
+
+    let mut c = Criterion::default().configure_from_args();
+    bench(&mut c);
+    c.final_summary();
+}

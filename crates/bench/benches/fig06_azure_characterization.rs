@@ -1,0 +1,31 @@
+//! Figure 6: CPU/RAM histograms of the Azure-like workloads. The printed
+//! bin counts must equal the paper's (e.g. Azure-3000 CPU:
+//! 1326/1269/316/89). Benchmarks workload generation throughput.
+
+use criterion::{BenchmarkId, Criterion};
+use risa_sim::experiments;
+use risa_workload::{AzureSubset, SyntheticConfig, Workload};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig06_workload_generation");
+    for subset in AzureSubset::ALL {
+        g.bench_with_input(
+            BenchmarkId::new("azure", subset.label()),
+            &subset,
+            |b, &s| b.iter(|| Workload::azure(s, 2023)),
+        );
+    }
+    g.bench_function("synthetic_2500", |b| {
+        b.iter(|| Workload::synthetic(&SyntheticConfig::paper(42)))
+    });
+    g.finish();
+}
+
+fn main() {
+    println!("{}", experiments::fig6(2023));
+    println!("paper Azure-3000 CPU bins: 1326 / 1269 / 316 / 89; RAM bins: 2591 / 299 / 15 / 17 / 78\n");
+
+    let mut c = Criterion::default().configure_from_args();
+    bench(&mut c);
+    c.final_summary();
+}

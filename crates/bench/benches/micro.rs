@@ -1,0 +1,110 @@
+//! Microbenchmarks of every substrate hot path: the numbers that explain
+//! the Figure 11/12 execution-time ordering from first principles.
+
+use criterion::{black_box, BenchmarkId, Criterion};
+use risa_des::{EventQueue, SimTime};
+use risa_metrics::TimeWeighted;
+use risa_network::{FlowDemands, LinkPolicy, NetworkConfig, NetworkState};
+use risa_photonics::{benes, EnergyModel, PhotonicsConfig, SwitchPath};
+use risa_sched::{Algorithm, ScheduleOutcome, Scheduler};
+use risa_topology::{BoxId, Cluster, TopologyConfig, UnitDemand};
+
+fn bench_topology(c: &mut Criterion) {
+    let mut cluster = Cluster::new(TopologyConfig::paper());
+    c.bench_function("micro_cluster_take_give", |b| {
+        b.iter(|| {
+            cluster.take(black_box(BoxId(0)), 4).unwrap();
+            cluster.give(BoxId(0), 4).unwrap();
+        })
+    });
+    let demand = UnitDemand::new(2, 4, 2);
+    c.bench_function("micro_rack_fits", |b| {
+        b.iter(|| cluster.rack_fits(risa_topology::RackId(9), black_box(&demand)))
+    });
+}
+
+fn bench_network(c: &mut Criterion) {
+    let cluster = Cluster::new(TopologyConfig::paper());
+    let mut net = NetworkState::new(NetworkConfig::paper(), &cluster);
+    c.bench_function("micro_flow_alloc_release_intra", |b| {
+        b.iter(|| {
+            let f = net
+                .alloc_flow(&cluster, BoxId(0), BoxId(2), 20_000, LinkPolicy::FirstFit)
+                .unwrap();
+            net.release_flow(&f);
+        })
+    });
+    c.bench_function("micro_flow_alloc_release_inter", |b| {
+        b.iter(|| {
+            let f = net
+                .alloc_flow(&cluster, BoxId(0), BoxId(8), 20_000, LinkPolicy::MostAvailable)
+                .unwrap();
+            net.release_flow(&f);
+        })
+    });
+    let d = FlowDemands {
+        cpu_ram_mbps: 20_000,
+        ram_sto_mbps: 4_000,
+    };
+    c.bench_function("micro_rack_intra_feasible", |b| {
+        b.iter(|| net.rack_intra_feasible(&cluster, risa_topology::RackId(0), black_box(&d)))
+    });
+}
+
+fn bench_photonics(c: &mut Criterion) {
+    let model = EnergyModel::new(PhotonicsConfig::paper());
+    let path = SwitchPath::inter_rack(64, 256, 512);
+    c.bench_function("micro_benes_total_cells_512", |b| {
+        b.iter(|| benes::total_cells(black_box(512)))
+    });
+    c.bench_function("micro_eq1_energy", |b| {
+        b.iter(|| model.flow_total_energy_j(black_box(&path), 40_000, 6300.0))
+    });
+}
+
+fn bench_des(c: &mut Criterion) {
+    c.bench_function("micro_event_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.push(SimTime::from_ticks((i * 7919) % 1000), i);
+            }
+            while q.pop().is_some() {}
+        })
+    });
+    c.bench_function("micro_time_weighted_set", |b| {
+        let mut tw = TimeWeighted::new(0.0, 0.0);
+        let mut t = 0.0;
+        b.iter(|| {
+            t += 1.0;
+            tw.set(t, black_box(42.0));
+        })
+    });
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro_schedule_empty_cluster");
+    let demand = UnitDemand::new(2, 4, 2);
+    for algo in Algorithm::ALL {
+        let mut cluster = Cluster::new(TopologyConfig::paper());
+        let mut net = NetworkState::new(NetworkConfig::paper(), &cluster);
+        let mut sched = Scheduler::new(algo, &cluster);
+        g.bench_with_input(BenchmarkId::from_parameter(algo), &algo, |b, _| {
+            b.iter(|| match sched.schedule(&mut cluster, &mut net, &demand) {
+                ScheduleOutcome::Assigned(a) => Scheduler::release(&mut cluster, &mut net, &a),
+                ScheduleOutcome::Dropped(r) => panic!("dropped: {r:?}"),
+            })
+        });
+    }
+    g.finish();
+}
+
+fn main() {
+    let mut c = Criterion::default().configure_from_args();
+    bench_topology(&mut c);
+    bench_network(&mut c);
+    bench_photonics(&mut c);
+    bench_des(&mut c);
+    bench_schedulers(&mut c);
+    c.final_summary();
+}

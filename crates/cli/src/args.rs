@@ -1,0 +1,326 @@
+//! Hand-rolled argument parsing (no CLI dependency; the grammar is tiny).
+
+use risa_sched::Algorithm;
+use risa_workload::AzureSubset;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+usage: risa-cli <command> [options]
+
+commands:
+  info                       print the paper's configuration tables and host info
+  run                        run one simulation and print (or emit JSON) its report
+      --algo <NULB|NALB|RISA|RISA-BF>      (default RISA)
+      --workload <synthetic|azure-3000|azure-5000|azure-7500>  (default synthetic)
+      --n <count>            synthetic VM count (default 2500)
+      --seed <u64>           (default 42)
+      --json                 emit the RunReport as JSON
+  experiment <id>            regenerate a paper artifact
+      <id> ∈ fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 ablation all
+      --seed <u64>           (default 42 for fig5/fig11, 2023 otherwise)
+  generate                   write a workload trace as JSON
+      --workload <...>       as for run
+      --n <count> --seed <u64>
+      --out <path>           output file (default: stdout)
+  replay                     run a saved trace
+      --trace <path> --algo <...> [--json]
+";
+
+/// A parsed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `info`
+    Info,
+    /// `run`
+    Run {
+        /// Scheduling algorithm.
+        algo: Algorithm,
+        /// Workload selector.
+        workload: WorkloadArg,
+        /// Seed.
+        seed: u64,
+        /// Emit JSON instead of the text report.
+        json: bool,
+    },
+    /// `experiment <id>`
+    Experiment {
+        /// Artifact id (fig5…fig12, ablation, all).
+        id: String,
+        /// Seed, if overridden.
+        seed: Option<u64>,
+    },
+    /// `generate`
+    Generate {
+        /// Workload selector.
+        workload: WorkloadArg,
+        /// Seed.
+        seed: u64,
+        /// Output path (None = stdout).
+        out: Option<String>,
+    },
+    /// `replay`
+    Replay {
+        /// Trace path.
+        trace: String,
+        /// Scheduling algorithm.
+        algo: Algorithm,
+        /// Emit JSON instead of the text report.
+        json: bool,
+    },
+}
+
+/// Workload selection shared by `run` and `generate`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadArg {
+    /// §5.1 synthetic with `n` VMs.
+    Synthetic {
+        /// VM count.
+        n: u32,
+    },
+    /// An Azure-like slice.
+    Azure(AzureSubset),
+}
+
+fn parse_workload(s: &str, n: u32) -> Result<WorkloadArg, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "synthetic" => Ok(WorkloadArg::Synthetic { n }),
+        "azure-3000" => Ok(WorkloadArg::Azure(AzureSubset::N3000)),
+        "azure-5000" => Ok(WorkloadArg::Azure(AzureSubset::N5000)),
+        "azure-7500" => Ok(WorkloadArg::Azure(AzureSubset::N7500)),
+        other => Err(format!("unknown workload '{other}'")),
+    }
+}
+
+/// Leftover positionals plus parsed `(key, value)` option pairs.
+type SplitArgs = (Vec<String>, Vec<(String, String)>);
+
+/// Pull `--key value` style options out of `argv`, returning leftover
+/// positionals. `flags` lists boolean options that take no value.
+fn split_options(argv: &[String], flags: &[&str]) -> Result<SplitArgs, String> {
+    let mut positionals = Vec::new();
+    let mut options = Vec::new();
+    let mut i = 0;
+    while i < argv.len() {
+        let a = &argv[i];
+        if let Some(key) = a.strip_prefix("--") {
+            if flags.contains(&key) {
+                options.push((key.to_string(), "true".to_string()));
+                i += 1;
+            } else {
+                let value = argv
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--{key} expects a value"))?;
+                options.push((key.to_string(), value.clone()));
+                i += 2;
+            }
+        } else {
+            positionals.push(a.clone());
+            i += 1;
+        }
+    }
+    Ok((positionals, options))
+}
+
+fn opt<'a>(options: &'a [(String, String)], key: &str) -> Option<&'a str> {
+    options
+        .iter()
+        .rev()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+}
+
+fn opt_u64(options: &[(String, String)], key: &str, default: u64) -> Result<u64, String> {
+    match opt(options, key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{key}: bad number '{v}'")),
+    }
+}
+
+/// Parse an argument vector (excluding the program name).
+pub fn parse(argv: &[String]) -> Result<Command, String> {
+    let Some(cmd) = argv.first() else {
+        return Err("missing command".into());
+    };
+    let rest = &argv[1..];
+    match cmd.as_str() {
+        "info" => {
+            if !rest.is_empty() {
+                return Err("info takes no arguments".into());
+            }
+            Ok(Command::Info)
+        }
+        "run" => {
+            let (pos, options) = split_options(rest, &["json"])?;
+            if !pos.is_empty() {
+                return Err(format!("unexpected argument '{}'", pos[0]));
+            }
+            let n = opt_u64(&options, "n", 2500)? as u32;
+            Ok(Command::Run {
+                algo: opt(&options, "algo").unwrap_or("RISA").parse()?,
+                workload: parse_workload(opt(&options, "workload").unwrap_or("synthetic"), n)?,
+                seed: opt_u64(&options, "seed", 42)?,
+                json: opt(&options, "json").is_some(),
+            })
+        }
+        "experiment" => {
+            let (pos, options) = split_options(rest, &[])?;
+            let id = pos.first().ok_or("experiment needs an id")?.clone();
+            const KNOWN: [&str; 10] = [
+                "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablation",
+                "all",
+            ];
+            if !KNOWN.contains(&id.as_str()) {
+                return Err(format!("unknown experiment '{id}'"));
+            }
+            let seed = match opt(&options, "seed") {
+                None => None,
+                Some(v) => Some(v.parse().map_err(|_| format!("--seed: bad number '{v}'"))?),
+            };
+            Ok(Command::Experiment { id, seed })
+        }
+        "generate" => {
+            let (pos, options) = split_options(rest, &[])?;
+            if !pos.is_empty() {
+                return Err(format!("unexpected argument '{}'", pos[0]));
+            }
+            let n = opt_u64(&options, "n", 2500)? as u32;
+            Ok(Command::Generate {
+                workload: parse_workload(opt(&options, "workload").unwrap_or("synthetic"), n)?,
+                seed: opt_u64(&options, "seed", 42)?,
+                out: opt(&options, "out").map(str::to_string),
+            })
+        }
+        "replay" => {
+            let (pos, options) = split_options(rest, &["json"])?;
+            if !pos.is_empty() {
+                return Err(format!("unexpected argument '{}'", pos[0]));
+            }
+            Ok(Command::Replay {
+                trace: opt(&options, "trace")
+                    .ok_or("replay needs --trace <path>")?
+                    .to_string(),
+                algo: opt(&options, "algo").unwrap_or("RISA").parse()?,
+                json: opt(&options, "json").is_some(),
+            })
+        }
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_info() {
+        assert_eq!(parse(&v(&["info"])).unwrap(), Command::Info);
+        assert!(parse(&v(&["info", "x"])).is_err());
+    }
+
+    #[test]
+    fn parses_run_defaults() {
+        let c = parse(&v(&["run"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Run {
+                algo: Algorithm::Risa,
+                workload: WorkloadArg::Synthetic { n: 2500 },
+                seed: 42,
+                json: false,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_run_full() {
+        let c = parse(&v(&[
+            "run",
+            "--algo",
+            "nalb",
+            "--workload",
+            "azure-5000",
+            "--seed",
+            "7",
+            "--json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Run {
+                algo: Algorithm::Nalb,
+                workload: WorkloadArg::Azure(AzureSubset::N5000),
+                seed: 7,
+                json: true,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_experiment() {
+        let c = parse(&v(&["experiment", "fig9", "--seed", "1"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Experiment {
+                id: "fig9".into(),
+                seed: Some(1)
+            }
+        );
+        assert!(parse(&v(&["experiment", "fig99"])).is_err());
+        assert!(parse(&v(&["experiment"])).is_err());
+    }
+
+    #[test]
+    fn parses_generate_and_replay() {
+        let c = parse(&v(&[
+            "generate",
+            "--workload",
+            "synthetic",
+            "--n",
+            "100",
+            "--out",
+            "t.json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Generate {
+                workload: WorkloadArg::Synthetic { n: 100 },
+                seed: 42,
+                out: Some("t.json".into()),
+            }
+        );
+        let c = parse(&v(&["replay", "--trace", "t.json", "--algo", "risa-bf"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Replay {
+                trace: "t.json".into(),
+                algo: Algorithm::RisaBf,
+                json: false,
+            }
+        );
+        assert!(parse(&v(&["replay"])).is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse(&v(&[])).is_err());
+        assert!(parse(&v(&["frobnicate"])).is_err());
+        assert!(parse(&v(&["run", "--algo"])).is_err());
+        assert!(parse(&v(&["run", "--seed", "NaN"])).is_err());
+        assert!(parse(&v(&["run", "--workload", "gcp"])).is_err());
+        assert!(parse(&v(&["run", "stray"])).is_err());
+    }
+
+    #[test]
+    fn last_option_wins() {
+        let c = parse(&v(&["run", "--seed", "1", "--seed", "2"])).unwrap();
+        match c {
+            Command::Run { seed, .. } => assert_eq!(seed, 2),
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Command execution.
+
+use crate::args::{Command, WorkloadArg};
+use risa_metrics::{Align, Table};
+use risa_network::NetworkConfig;
+use risa_sim::{experiments, host_info, RunReport, SimulationBuilder, WorkloadSpec};
+use risa_topology::TopologyConfig;
+use risa_workload::{SyntheticConfig, Workload};
+
+/// Execute a parsed command.
+pub fn execute(cmd: Command) -> Result<(), String> {
+    match cmd {
+        Command::Info => info(),
+        Command::Run {
+            algo,
+            workload,
+            seed,
+            json,
+        } => {
+            let spec = spec_of(workload, seed);
+            let report = SimulationBuilder::new()
+                .algorithm(algo)
+                .workload(spec)
+                .build()
+                .run();
+            emit(&report, json)
+        }
+        Command::Experiment { id, seed } => experiment(&id, seed),
+        Command::Generate {
+            workload,
+            seed,
+            out,
+        } => generate(workload, seed, out),
+        Command::Replay { trace, algo, json } => {
+            let text = std::fs::read_to_string(&trace)
+                .map_err(|e| format!("cannot read {trace}: {e}"))?;
+            let w = Workload::from_json(&text).map_err(|e| format!("bad trace: {e}"))?;
+            let report = SimulationBuilder::new()
+                .algorithm(algo)
+                .workload(WorkloadSpec::Trace(w))
+                .build()
+                .run();
+            emit(&report, json)
+        }
+    }
+}
+
+fn spec_of(workload: WorkloadArg, seed: u64) -> WorkloadSpec {
+    match workload {
+        WorkloadArg::Synthetic { n } => {
+            WorkloadSpec::Synthetic(SyntheticConfig::small(n, seed))
+        }
+        WorkloadArg::Azure(subset) => WorkloadSpec::azure(subset, seed),
+    }
+}
+
+fn emit(report: &RunReport, json: bool) -> Result<(), String> {
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(report).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+    let mut t = Table::new(
+        format!("{} on {}", report.algorithm, report.workload),
+        &["metric", "value"],
+    )
+    .align(&[Align::Left, Align::Right]);
+    t.row_display(&["VMs", &report.total_vms.to_string()]);
+    t.row_display(&["admitted", &report.admitted.to_string()]);
+    t.row_display(&[
+        "dropped (compute/network)",
+        &format!("{} ({}/{})", report.dropped, report.dropped_compute, report.dropped_network),
+    ]);
+    t.row_display(&[
+        "inter-rack assignments",
+        &format!(
+            "{} ({:.1}%)",
+            report.inter_rack_assignments,
+            report.inter_rack_percent()
+        ),
+    ]);
+    t.row_display(&[
+        "utilization cpu/ram/sto",
+        &format!(
+            "{:.1}% / {:.1}% / {:.1}%",
+            report.cpu_utilization * 100.0,
+            report.ram_utilization * 100.0,
+            report.storage_utilization * 100.0
+        ),
+    ]);
+    t.row_display(&[
+        "network util intra/inter",
+        &format!(
+            "{:.1}% / {:.2}%",
+            report.intra_net_utilization * 100.0,
+            report.inter_net_utilization * 100.0
+        ),
+    ]);
+    t.row_display(&[
+        "optical power",
+        &format!("{:.2} kW", report.optical_power_w / 1000.0),
+    ]);
+    t.row_display(&[
+        "mean CPU-RAM latency",
+        &format!("{:.0} ns", report.mean_cpu_ram_latency_ns),
+    ]);
+    t.row_display(&[
+        "scheduler time / ops per VM",
+        &format!(
+            "{:.2} ms / {:.0}",
+            report.sched_seconds * 1e3,
+            report.work.ops_per_call()
+        ),
+    ]);
+    println!("{t}");
+    Ok(())
+}
+
+fn info() -> Result<(), String> {
+    let cfg = TopologyConfig::paper();
+    let net = NetworkConfig::paper();
+    println!("{}", host_info());
+    let mut t = Table::new(
+        "Paper configuration (Tables 1 and 2, §3.1/§5.2)",
+        &["parameter", "value"],
+    )
+    .align(&[Align::Left, Align::Right]);
+    t.row_display(&["racks", &cfg.racks.to_string()]);
+    t.row_display(&[
+        "boxes per rack (cpu/ram/sto)",
+        &format!("{}/{}/{}", cfg.box_mix.cpu, cfg.box_mix.ram, cfg.box_mix.storage),
+    ]);
+    t.row_display(&["bricks per box", &cfg.bricks_per_box.to_string()]);
+    t.row_display(&["units per brick", &cfg.units_per_brick.to_string()]);
+    t.row_display(&[
+        "unit sizes",
+        &format!(
+            "{} cores / {} GB / {} GB",
+            cfg.units.cpu_cores_per_unit, cfg.units.ram_gb_per_unit, cfg.units.storage_gb_per_unit
+        ),
+    ]);
+    t.row_display(&["link rate", &format!("{} Gb/s", net.link_mbps / 1000)]);
+    t.row_display(&[
+        "flow rates cpu-ram / ram-sto",
+        &format!(
+            "{} / {} Gb/s/unit",
+            net.cpu_ram_mbps_per_unit / 1000,
+            net.ram_sto_mbps_per_unit / 1000
+        ),
+    ]);
+    t.row_display(&[
+        "switch ports box/rack/inter",
+        &format!(
+            "{}/{}/{}",
+            net.box_switch_ports, net.rack_switch_ports, net.inter_rack_switch_ports
+        ),
+    ]);
+    println!("{t}");
+    Ok(())
+}
+
+fn experiment(id: &str, seed: Option<u64>) -> Result<(), String> {
+    let run_one = |id: &str, seed: Option<u64>| -> Result<(), String> {
+        let rep = match id {
+            "fig5" => experiments::fig5(seed.unwrap_or(42)),
+            "fig6" => experiments::fig6(seed.unwrap_or(2023)),
+            "fig7" => experiments::fig7(seed.unwrap_or(2023)),
+            "fig8" => experiments::fig8(seed.unwrap_or(2023)),
+            "fig9" => experiments::fig9(seed.unwrap_or(2023)),
+            "fig10" => experiments::fig10(seed.unwrap_or(2023)),
+            "fig11" => experiments::fig11(seed.unwrap_or(42)),
+            "fig12" => experiments::fig12(seed.unwrap_or(2023)),
+            "ablation" => {
+                println!("{}", experiments::ablation_trunk_width(seed.unwrap_or(7), &[1, 2, 4, 8]));
+                println!("{}", experiments::ablation_alpha(seed.unwrap_or(7), &[0.5, 0.7, 0.9, 1.0]));
+                return Ok(());
+            }
+            other => return Err(format!("unknown experiment '{other}'")),
+        };
+        println!("{rep}");
+        Ok(())
+    };
+    if id == "all" {
+        for id in [
+            "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablation",
+        ] {
+            run_one(id, seed)?;
+        }
+        Ok(())
+    } else {
+        run_one(id, seed)
+    }
+}
+
+fn generate(workload: WorkloadArg, seed: u64, out: Option<String>) -> Result<(), String> {
+    let w = spec_of(workload, seed).materialize();
+    let json = w.to_json();
+    match out {
+        None => {
+            println!("{json}");
+            Ok(())
+        }
+        Some(path) => {
+            std::fs::write(&path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote {} VMs to {path}", w.len());
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use risa_sched::Algorithm;
+
+    #[test]
+    fn info_runs() {
+        assert!(execute(Command::Info).is_ok());
+    }
+
+    #[test]
+    fn run_small_synthetic() {
+        let cmd = Command::Run {
+            algo: Algorithm::Risa,
+            workload: WorkloadArg::Synthetic { n: 50 },
+            seed: 1,
+            json: false,
+        };
+        assert!(execute(cmd).is_ok());
+    }
+
+    #[test]
+    fn run_emits_json() {
+        let cmd = Command::Run {
+            algo: Algorithm::Nulb,
+            workload: WorkloadArg::Synthetic { n: 20 },
+            seed: 1,
+            json: true,
+        };
+        assert!(execute(cmd).is_ok());
+    }
+
+    #[test]
+    fn generate_and_replay_roundtrip() {
+        let dir = std::env::temp_dir().join("risa-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json").to_string_lossy().to_string();
+        execute(Command::Generate {
+            workload: WorkloadArg::Synthetic { n: 30 },
+            seed: 5,
+            out: Some(path.clone()),
+        })
+        .unwrap();
+        execute(Command::Replay {
+            trace: path.clone(),
+            algo: Algorithm::RisaBf,
+            json: true,
+        })
+        .unwrap();
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn replay_missing_file_fails() {
+        let cmd = Command::Replay {
+            trace: "/nonexistent/trace.json".into(),
+            algo: Algorithm::Risa,
+            json: false,
+        };
+        assert!(execute(cmd).is_err());
+    }
+
+    #[test]
+    fn unknown_experiment_fails() {
+        assert!(experiment("fig99", None).is_err());
+    }
+}

@@ -1,0 +1,33 @@
+//! `risa-cli` — drive the RISA reproduction from the command line.
+//!
+//! ```text
+//! risa-cli info                                   # Tables 1/2 + host
+//! risa-cli run --algo RISA --workload azure-3000  # one simulation
+//! risa-cli experiment fig5 [--seed 42]            # regenerate a figure
+//! risa-cli experiment all                         # every figure
+//! risa-cli generate --workload synthetic --n 2500 --seed 42 --out trace.json
+//! risa-cli replay --trace trace.json --algo NALB  # run a saved trace
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&argv) {
+        Ok(cmd) => match commands::execute(cmd) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{}", args::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Machine-independent work accounting.
+//!
+//! Figures 11/12 of the paper compare scheduler *execution times*, which
+//! are host-dependent. To make the comparison reproducible we also count
+//! the elementary operations each algorithm performs — box-availability
+//! reads, rack-level checks, link-bandwidth reads, and neighbour
+//! re-sorts. The counters are deterministic for a given workload/seed, so
+//! the NALB ≫ NULB > RISA ordering can be asserted in tests rather than
+//! merely observed on a quiet machine.
+
+use serde::{Deserialize, Serialize};
+use std::ops::AddAssign;
+
+/// Elementary-operation counters accumulated across scheduling calls.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkCounters {
+    /// Box-availability reads in search loops (CR scans, first-fit scans,
+    /// BFS probes, best-fit minima).
+    pub boxes_scanned: u64,
+    /// Rack-level membership/feasibility checks (pool construction,
+    /// SUPER_RACK build, BFS rack iteration).
+    pub racks_scanned: u64,
+    /// Link free-bandwidth reads (NALB's neighbour ordering and feasibility
+    /// pre-checks).
+    pub links_scanned: u64,
+    /// Neighbour-list sorts performed (NALB's modified BFS).
+    pub sorts: u64,
+    /// Scheduling attempts (one per VM).
+    pub calls: u64,
+}
+
+impl WorkCounters {
+    /// Zeroed counters.
+    pub fn new() -> Self {
+        WorkCounters::default()
+    }
+
+    /// Sum of all scan counters — the scalar "operations" column printed
+    /// by the Figure 11/12 experiments.
+    pub fn total_ops(&self) -> u64 {
+        self.boxes_scanned + self.racks_scanned + self.links_scanned + self.sorts
+    }
+
+    /// Mean operations per scheduling call (0 when no calls).
+    pub fn ops_per_call(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.total_ops() as f64 / self.calls as f64
+        }
+    }
+}
+
+impl AddAssign for WorkCounters {
+    fn add_assign(&mut self, rhs: WorkCounters) {
+        self.boxes_scanned += rhs.boxes_scanned;
+        self.racks_scanned += rhs.racks_scanned;
+        self.links_scanned += rhs.links_scanned;
+        self.sorts += rhs.sorts;
+        self.calls += rhs.calls;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_means() {
+        let mut w = WorkCounters::new();
+        assert_eq!(w.total_ops(), 0);
+        assert_eq!(w.ops_per_call(), 0.0);
+        w.boxes_scanned = 10;
+        w.racks_scanned = 5;
+        w.links_scanned = 3;
+        w.sorts = 2;
+        w.calls = 4;
+        assert_eq!(w.total_ops(), 20);
+        assert_eq!(w.ops_per_call(), 5.0);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = WorkCounters {
+            boxes_scanned: 1,
+            racks_scanned: 2,
+            links_scanned: 3,
+            sorts: 4,
+            calls: 5,
+        };
+        a += a;
+        assert_eq!(a.boxes_scanned, 2);
+        assert_eq!(a.calls, 10);
+        assert_eq!(a.total_ops(), 20);
+    }
+}

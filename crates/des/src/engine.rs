@@ -1,0 +1,388 @@
+//! The simulation loop: pops events in `(time, seq)` order and dispatches
+//! them to a user-supplied [`World`], which may schedule further events
+//! through an [`EventCtx`].
+
+use crate::queue::EventQueue;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::EventTrace;
+
+/// The model being simulated. Implementors own all mutable simulation state
+/// (the datacenter, the scheduler, the metrics) and react to events.
+pub trait World {
+    /// Event payload type delivered by the engine.
+    type Event;
+
+    /// Handle one event at `ctx.now()`. New events may be scheduled with
+    /// [`EventCtx::schedule_at`] / [`EventCtx::schedule_in`]; scheduling in
+    /// the past is clamped to "now" (and counted, so tests can assert it
+    /// never happens).
+    fn handle(&mut self, ctx: &mut EventCtx<'_, Self::Event>, event: Self::Event);
+}
+
+/// Handle given to [`World::handle`] for scheduling follow-up events.
+pub struct EventCtx<'a, E> {
+    now: SimTime,
+    queue: &'a mut EventQueue<E>,
+    clamped: &'a mut u64,
+    stop_requested: &'a mut bool,
+}
+
+impl<E> EventCtx<'_, E> {
+    /// Current simulation time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` at absolute time `at` (clamped to `now` if in the
+    /// past, which increments the clamp counter).
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        let at = if at < self.now {
+            *self.clamped += 1;
+            self.now
+        } else {
+            at
+        };
+        self.queue.push(at, event);
+    }
+
+    /// Schedule `event` after a relative delay from now.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.queue.push(self.now + delay, event);
+    }
+
+    /// Ask the engine to stop after this handler returns, leaving any
+    /// remaining events in the queue (used by "run until condition" logic).
+    pub fn request_stop(&mut self) {
+        *self.stop_requested = true;
+    }
+
+    /// Number of events currently pending (not counting the one in flight).
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// Result of driving the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained completely.
+    Exhausted,
+    /// The run hit the supplied horizon; later events remain queued.
+    HorizonReached,
+    /// A handler called [`EventCtx::request_stop`].
+    Stopped,
+    /// The step/event budget was consumed.
+    BudgetExhausted,
+}
+
+/// Result of a single [`Simulation::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// One event was dispatched.
+    Dispatched,
+    /// No events were pending.
+    Empty,
+}
+
+/// The discrete-event engine: a clock, a queue, and a [`World`].
+#[derive(Debug)]
+pub struct Simulation<W: World> {
+    world: W,
+    queue: EventQueue<W::Event>,
+    now: SimTime,
+    dispatched: u64,
+    clamped: u64,
+    stop_requested: bool,
+    trace: Option<TraceSlot<W::Event>>,
+}
+
+/// Trace buffer plus the renderer captured when tracing was enabled (the
+/// `Debug` bound exists only at that call site).
+type TraceSlot<E> = (EventTrace, fn(&E) -> String);
+
+impl<W: World> Simulation<W> {
+    /// Wrap `world` with an empty queue at t = 0.
+    pub fn new(world: W) -> Self {
+        Simulation {
+            world,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            dispatched: 0,
+            clamped: 0,
+            stop_requested: false,
+            trace: None,
+        }
+    }
+
+    /// Keep a ring buffer of the last `capacity` dispatched events for
+    /// post-mortem inspection (requires `Event: Debug`; see
+    /// [`Simulation::trace`]).
+    pub fn enable_trace(&mut self, capacity: usize)
+    where
+        W::Event: std::fmt::Debug,
+    {
+        fn render<E: std::fmt::Debug>(e: &E) -> String {
+            format!("{e:?}")
+        }
+        self.trace = Some((EventTrace::new(capacity), render::<W::Event>));
+    }
+
+    /// The event trace, when enabled.
+    pub fn trace(&self) -> Option<&EventTrace> {
+        self.trace.as_ref().map(|(t, _)| t)
+    }
+
+    /// Schedule an event before (or during) the run.
+    pub fn schedule(&mut self, at: SimTime, event: W::Event) {
+        self.queue.push(at, event);
+    }
+
+    /// Current simulation clock. Advances only when events are dispatched.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Shared view of the model.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Mutable view of the model (e.g. to extract metrics after a run).
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Consume the engine, returning the model.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+
+    /// Total events dispatched so far.
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// How many schedule-in-the-past requests were clamped to "now".
+    /// A correct model keeps this at zero; tests assert on it.
+    pub fn clamped_schedules(&self) -> u64 {
+        self.clamped
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Dispatch the single earliest event, advancing the clock to it.
+    pub fn step(&mut self) -> StepOutcome {
+        let Some(entry) = self.queue.pop() else {
+            return StepOutcome::Empty;
+        };
+        debug_assert!(entry.at >= self.now, "event queue went back in time");
+        self.now = entry.at;
+        self.dispatched += 1;
+        if let Some((trace, render)) = &mut self.trace {
+            trace.record_rendered(entry.at, render(&entry.event));
+        }
+        let mut ctx = EventCtx {
+            now: self.now,
+            queue: &mut self.queue,
+            clamped: &mut self.clamped,
+            stop_requested: &mut self.stop_requested,
+        };
+        self.world.handle(&mut ctx, entry.event);
+        StepOutcome::Dispatched
+    }
+
+    /// Run until the queue drains or a handler requests a stop.
+    pub fn run_to_completion(&mut self) -> RunOutcome {
+        self.run_until(SimTime::MAX, u64::MAX)
+    }
+
+    /// Run while `peek_time <= horizon`, at most `max_events` dispatches.
+    ///
+    /// Events scheduled exactly at the horizon *are* dispatched; the first
+    /// event strictly beyond it ends the run with
+    /// [`RunOutcome::HorizonReached`] and stays queued.
+    pub fn run_until(&mut self, horizon: SimTime, max_events: u64) -> RunOutcome {
+        self.stop_requested = false;
+        let mut budget = max_events;
+        loop {
+            if self.stop_requested {
+                return RunOutcome::Stopped;
+            }
+            if budget == 0 {
+                return RunOutcome::BudgetExhausted;
+            }
+            match self.queue.peek_time() {
+                None => return RunOutcome::Exhausted,
+                Some(t) if t > horizon => return RunOutcome::HorizonReached,
+                Some(_) => {
+                    self.step();
+                    budget -= 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An M/D/∞-style toy world: arrivals spawn departures; we count both.
+    struct Toy {
+        arrivals: u32,
+        departures: u32,
+        log: Vec<(f64, ToyEvent)>,
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum ToyEvent {
+        Arrive(u32),
+        Depart(u32),
+    }
+
+    impl World for Toy {
+        type Event = ToyEvent;
+        fn handle(&mut self, ctx: &mut EventCtx<'_, ToyEvent>, ev: ToyEvent) {
+            self.log.push((ctx.now().as_units(), ev));
+            match ev {
+                ToyEvent::Arrive(id) => {
+                    self.arrivals += 1;
+                    ctx.schedule_in(SimDuration::from_units(5.0), ToyEvent::Depart(id));
+                }
+                ToyEvent::Depart(_) => self.departures += 1,
+            }
+        }
+    }
+
+    fn toy() -> Toy {
+        Toy {
+            arrivals: 0,
+            departures: 0,
+            log: vec![],
+        }
+    }
+
+    #[test]
+    fn arrivals_spawn_departures() {
+        let mut sim = Simulation::new(toy());
+        for i in 0..4 {
+            sim.schedule(SimTime::from_units(i as f64 * 2.0), ToyEvent::Arrive(i));
+        }
+        assert_eq!(sim.run_to_completion(), RunOutcome::Exhausted);
+        let w = sim.world();
+        assert_eq!(w.arrivals, 4);
+        assert_eq!(w.departures, 4);
+        // Last departure: arrival at t=6 departs at t=11.
+        assert_eq!(sim.now(), SimTime::from_units(11.0));
+        assert_eq!(sim.dispatched(), 8);
+        assert_eq!(sim.clamped_schedules(), 0);
+    }
+
+    #[test]
+    fn horizon_is_inclusive() {
+        let mut sim = Simulation::new(toy());
+        sim.schedule(SimTime::from_units(1.0), ToyEvent::Arrive(0));
+        // Departure lands at t=6.0; horizon exactly 6.0 must include it.
+        assert_eq!(
+            sim.run_until(SimTime::from_units(6.0), u64::MAX),
+            RunOutcome::Exhausted
+        );
+        assert_eq!(sim.world().departures, 1);
+
+        let mut sim = Simulation::new(toy());
+        sim.schedule(SimTime::from_units(1.0), ToyEvent::Arrive(0));
+        assert_eq!(
+            sim.run_until(SimTime::from_units(5.9), u64::MAX),
+            RunOutcome::HorizonReached
+        );
+        assert_eq!(sim.world().departures, 0);
+        assert_eq!(sim.pending(), 1, "the departure stays queued");
+    }
+
+    #[test]
+    fn event_budget_is_respected() {
+        let mut sim = Simulation::new(toy());
+        for i in 0..10 {
+            sim.schedule(SimTime::from_units(i as f64), ToyEvent::Arrive(i));
+        }
+        assert_eq!(
+            sim.run_until(SimTime::MAX, 3),
+            RunOutcome::BudgetExhausted
+        );
+        assert_eq!(sim.dispatched(), 3);
+    }
+
+    #[test]
+    fn stop_request_halts_immediately() {
+        struct Stopper(u32);
+        impl World for Stopper {
+            type Event = u32;
+            fn handle(&mut self, ctx: &mut EventCtx<'_, u32>, ev: u32) {
+                self.0 += 1;
+                if ev == 2 {
+                    ctx.request_stop();
+                }
+            }
+        }
+        let mut sim = Simulation::new(Stopper(0));
+        for i in 0..10 {
+            sim.schedule(SimTime::from_units(i as f64), i);
+        }
+        assert_eq!(sim.run_to_completion(), RunOutcome::Stopped);
+        assert_eq!(sim.world().0, 3, "events 0,1,2 ran; 3.. remained");
+        assert_eq!(sim.pending(), 7);
+    }
+
+    #[test]
+    fn past_schedules_are_clamped_and_counted() {
+        struct PastScheduler;
+        impl World for PastScheduler {
+            type Event = bool;
+            fn handle(&mut self, ctx: &mut EventCtx<'_, bool>, first: bool) {
+                if first {
+                    // Deliberately schedule "yesterday".
+                    ctx.schedule_at(SimTime::ZERO, false);
+                }
+            }
+        }
+        let mut sim = Simulation::new(PastScheduler);
+        sim.schedule(SimTime::from_units(10.0), true);
+        sim.run_to_completion();
+        assert_eq!(sim.clamped_schedules(), 1);
+        assert_eq!(sim.now(), SimTime::from_units(10.0));
+    }
+
+    #[test]
+    fn trace_records_dispatched_events() {
+        let mut sim = Simulation::new(toy());
+        sim.enable_trace(4);
+        for i in 0..3 {
+            sim.schedule(SimTime::from_units(i as f64), ToyEvent::Arrive(i));
+        }
+        sim.run_to_completion();
+        let trace = sim.trace().unwrap();
+        // 3 arrivals + 3 departures dispatched; ring keeps the last 4.
+        assert_eq!(trace.recorded(), 6);
+        assert_eq!(trace.len(), 4);
+        assert!(trace.dump().contains("Depart(2)"));
+        assert!(trace.dump().contains("earlier events evicted"));
+    }
+
+    #[test]
+    fn deterministic_replay_identical_logs() {
+        let run = || {
+            let mut sim = Simulation::new(toy());
+            // Many same-tick arrivals stress the tie-break path.
+            for i in 0..50 {
+                sim.schedule(SimTime::from_units((i % 5) as f64), ToyEvent::Arrive(i));
+            }
+            sim.run_to_completion();
+            sim.into_world().log
+        };
+        assert_eq!(run(), run());
+    }
+}

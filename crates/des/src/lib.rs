@@ -1,0 +1,44 @@
+//! # risa-des — a deterministic discrete-event simulation engine
+//!
+//! The RISA paper evaluates schedulers on a discrete-event simulation of VM
+//! arrivals and departures. This crate provides the event-queue substrate
+//! that the [`risa-sim`] driver builds on. It is deliberately generic: time
+//! is a fixed-point tick counter, events are an arbitrary payload type, and
+//! the engine guarantees **deterministic replay** — two runs with the same
+//! initial events and the same handler logic produce identical event orders,
+//! because ties in time are broken by insertion sequence number.
+//!
+//! ```
+//! use risa_des::{Simulation, SimDuration, SimTime, World, EventCtx};
+//!
+//! struct Counter { fired: Vec<u64> }
+//! impl World for Counter {
+//!     type Event = u64;
+//!     fn handle(&mut self, ctx: &mut EventCtx<'_, u64>, ev: u64) {
+//!         self.fired.push(ev);
+//!         if ev < 3 {
+//!             ctx.schedule_in(SimDuration::from_units(1.0), ev + 1);
+//!         }
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::new(Counter { fired: vec![] });
+//! sim.schedule(SimTime::ZERO, 0);
+//! sim.run_to_completion();
+//! assert_eq!(sim.world().fired, vec![0, 1, 2, 3]);
+//! assert_eq!(sim.now(), SimTime::from_units(3.0));
+//! ```
+//!
+//! [`risa-sim`]: ../risa_sim/index.html
+
+#![warn(missing_docs)]
+
+mod engine;
+mod queue;
+mod time;
+mod trace;
+
+pub use engine::{EventCtx, RunOutcome, Simulation, StepOutcome, World};
+pub use queue::{EventQueue, QueueEntry};
+pub use time::{SimDuration, SimTime, TICKS_PER_UNIT};
+pub use trace::{EventTrace, TraceEntry};

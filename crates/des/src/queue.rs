@@ -1,0 +1,180 @@
+//! The pending-event set: a binary min-heap ordered by `(time, sequence)`.
+//!
+//! Determinism requirement: when two events are scheduled for the same tick,
+//! the one scheduled *first* is delivered first. `BinaryHeap` alone is not
+//! stable, so every entry carries a monotonically increasing sequence number
+//! that breaks ties.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One scheduled event: delivery time, tie-breaking sequence, payload.
+#[derive(Debug, Clone)]
+pub struct QueueEntry<E> {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Global insertion sequence; earlier insertions fire first on ties.
+    pub seq: u64,
+    /// The event payload handed to the [`crate::World`] handler.
+    pub event: E,
+}
+
+impl<E> PartialEq for QueueEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for QueueEntry<E> {}
+
+impl<E> PartialOrd for QueueEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for QueueEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we need the *earliest* entry
+        // on top, and among equal times the *lowest* sequence.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<QueueEntry<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Create an empty queue with room for `cap` events.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `event` for delivery at `at`. Returns the sequence number
+    /// assigned to the entry (useful in tests asserting FIFO tie order).
+    pub fn push(&mut self, at: SimTime, event: E) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(QueueEntry { at, seq, event });
+        seq
+    }
+
+    /// Remove and return the earliest entry, or `None` when empty.
+    pub fn pop(&mut self) -> Option<QueueEntry<E>> {
+        self.heap.pop()
+    }
+
+    /// Delivery time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled on this queue.
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Drop all pending events (sequence counter keeps advancing so replay
+    /// determinism is preserved across a clear).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(u: f64) -> SimTime {
+        SimTime::from_units(u)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(5.0), "c");
+        q.push(t(1.0), "a");
+        q.push(t(3.0), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(t(7.0), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        let expect: Vec<_> = (0..100).collect();
+        assert_eq!(order, expect, "same-tick events must be FIFO");
+    }
+
+    #[test]
+    fn interleaved_times_and_ties() {
+        let mut q = EventQueue::new();
+        q.push(t(2.0), "b1");
+        q.push(t(1.0), "a");
+        q.push(t(2.0), "b2");
+        q.push(t(0.5), "start");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, vec!["start", "a", "b1", "b2"]);
+    }
+
+    #[test]
+    fn peek_time_reports_earliest() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(t(9.0), ());
+        q.push(t(4.0), ());
+        assert_eq!(q.peek_time(), Some(t(4.0)));
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn clear_preserves_sequence_counter() {
+        let mut q = EventQueue::new();
+        q.push(t(1.0), 1u32);
+        q.push(t(2.0), 2);
+        q.clear();
+        assert!(q.is_empty());
+        let seq = q.push(t(3.0), 3);
+        assert_eq!(seq, 2, "sequence numbers keep increasing after clear");
+        assert_eq!(q.scheduled_total(), 3);
+    }
+}

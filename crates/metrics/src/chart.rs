@@ -1,0 +1,147 @@
+//! ASCII bar charts, so experiment output visually mirrors the paper's
+//! bar figures (Figures 5, 7, 9, 10, 11, 12).
+
+use std::fmt::Write as _;
+
+/// A horizontal bar chart with labelled bars, optionally grouped.
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    title: String,
+    unit: String,
+    width: usize,
+    bars: Vec<(String, f64)>,
+}
+
+impl BarChart {
+    /// New chart. `unit` is appended to each value label ("kW", "ns", …).
+    pub fn new(title: impl Into<String>, unit: impl Into<String>) -> Self {
+        BarChart {
+            title: title.into(),
+            unit: unit.into(),
+            width: 48,
+            bars: Vec::new(),
+        }
+    }
+
+    /// Maximum bar width in characters (default 48).
+    pub fn width(mut self, width: usize) -> Self {
+        assert!(width >= 4, "bars need some room");
+        self.width = width;
+        self
+    }
+
+    /// Append one bar.
+    pub fn bar(&mut self, label: impl Into<String>, value: f64) -> &mut Self {
+        let value = if value.is_finite() { value } else { 0.0 };
+        self.bars.push((label.into(), value.max(0.0)));
+        self
+    }
+
+    /// Number of bars so far.
+    pub fn len(&self) -> usize {
+        self.bars.len()
+    }
+
+    /// True when no bars have been added.
+    pub fn is_empty(&self) -> bool {
+        self.bars.is_empty()
+    }
+
+    /// Render to a string. Bars scale linearly to the largest value; zero
+    /// and all-zero charts render without dividing by zero.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        let label_w = self.bars.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+        let max = self
+            .bars
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(0.0f64, f64::max)
+            .max(f64::MIN_POSITIVE);
+        for (label, value) in &self.bars {
+            let n = ((value / max) * self.width as f64).round() as usize;
+            let bar: String = "#".repeat(n);
+            let _ = writeln!(
+                out,
+                "  {label:<label_w$} |{bar:<bar_w$} {value:.2} {unit}",
+                bar_w = self.width,
+                unit = self.unit,
+            );
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for BarChart {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_fig5_style_bars() {
+        let mut c = BarChart::new("Inter-rack VM assignments", "VMs").width(20);
+        c.bar("NULB", 255.0);
+        c.bar("NALB", 255.0);
+        c.bar("RISA", 7.0);
+        c.bar("RISA-BF", 2.0);
+        let s = c.render();
+        assert!(s.contains("NULB"));
+        // The largest bars reach the full width.
+        let nulb_line = s.lines().find(|l| l.contains("NULB ")).unwrap();
+        assert!(nulb_line.contains(&"#".repeat(20)));
+        // The small bars are visibly shorter (7/255*20 ≈ 1).
+        let risa_line = s.lines().find(|l| l.contains("RISA ")).unwrap();
+        assert!(!risa_line.contains("##"));
+        assert_eq!(c.len(), 4);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn zero_and_empty_are_safe() {
+        let mut c = BarChart::new("t", "x");
+        assert!(c.is_empty());
+        c.bar("a", 0.0);
+        c.bar("b", 0.0);
+        let s = c.render();
+        assert!(s.contains("0.00 x"));
+        assert!(!s.contains('#'));
+    }
+
+    #[test]
+    fn negative_and_nan_clamp_to_zero() {
+        let mut c = BarChart::new("t", "");
+        c.bar("neg", -5.0);
+        c.bar("nan", f64::NAN);
+        c.bar("ok", 1.0);
+        let s = c.render();
+        let neg = s.lines().find(|l| l.contains("neg")).unwrap();
+        assert!(!neg.contains('#'));
+    }
+
+    #[test]
+    fn labels_align() {
+        let mut c = BarChart::new("t", "u").width(8);
+        c.bar("x", 1.0);
+        c.bar("longer-label", 2.0);
+        let s = c.render();
+        let pipes: Vec<usize> = s
+            .lines()
+            .skip(1)
+            .map(|l| l.find('|').unwrap())
+            .collect();
+        assert_eq!(pipes[0], pipes[1]);
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let mut c = BarChart::new("t", "u");
+        c.bar("a", 3.0);
+        assert_eq!(format!("{c}"), c.render());
+    }
+}

@@ -1,0 +1,154 @@
+//! Exact sample quantiles over a retained sample set.
+//!
+//! The paper reports means; a production report also wants tails
+//! (p95/p99 trunk utilization, latency percentiles). This is the exact
+//! (store-everything) estimator — fine for the sample counts a simulation
+//! produces; callers needing bounded memory should subsample upstream.
+
+use serde::{Deserialize, Serialize};
+
+/// An exact quantile estimator over retained `f64` samples.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Quantiles {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Quantiles {
+    /// Empty estimator.
+    pub fn new() -> Self {
+        Quantiles {
+            samples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Record one observation (NaN is ignored — it has no order).
+    pub fn record(&mut self, x: f64) {
+        if x.is_nan() {
+            return;
+        }
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Record many observations.
+    pub fn extend(&mut self, xs: impl IntoIterator<Item = f64>) {
+        for x in xs {
+            self.record(x);
+        }
+    }
+
+    /// Number of retained samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_by(f64::total_cmp);
+            self.sorted = true;
+        }
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) with linear interpolation between
+    /// order statistics; `None` when empty.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        self.ensure_sorted();
+        let n = self.samples.len();
+        if n == 1 {
+            return Some(self.samples[0]);
+        }
+        let pos = q * (n - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        Some(self.samples[lo] * (1.0 - frac) + self.samples[hi] * frac)
+    }
+
+    /// Median (p50).
+    pub fn median(&mut self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// A compact `p50/p95/p99/max` summary line.
+    pub fn summary(&mut self) -> Option<String> {
+        let p50 = self.quantile(0.5)?;
+        let p95 = self.quantile(0.95)?;
+        let p99 = self.quantile(0.99)?;
+        let max = self.quantile(1.0)?;
+        Some(format!(
+            "p50 {p50:.3}  p95 {p95:.3}  p99 {p99:.3}  max {max:.3}"
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_single() {
+        let mut q = Quantiles::new();
+        assert_eq!(q.quantile(0.5), None);
+        assert_eq!(q.summary(), None);
+        q.record(7.0);
+        assert_eq!(q.median(), Some(7.0));
+        assert_eq!(q.quantile(0.0), Some(7.0));
+        assert_eq!(q.quantile(1.0), Some(7.0));
+    }
+
+    #[test]
+    fn known_quantiles_of_1_to_100() {
+        let mut q = Quantiles::new();
+        q.extend((1..=100).map(f64::from));
+        assert_eq!(q.count(), 100);
+        assert_eq!(q.quantile(0.0), Some(1.0));
+        assert_eq!(q.quantile(1.0), Some(100.0));
+        // p50 of 1..=100 with linear interpolation: 50.5.
+        assert!((q.median().unwrap() - 50.5).abs() < 1e-12);
+        // p95: pos = 0.95*99 = 94.05 → 95 + 0.05*(96-95) = 95.05.
+        assert!((q.quantile(0.95).unwrap() - 95.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unsorted_input_is_fine() {
+        let mut q = Quantiles::new();
+        q.extend([5.0, 1.0, 4.0, 2.0, 3.0]);
+        assert_eq!(q.median(), Some(3.0));
+        // Interleave more records after a query.
+        q.record(0.0);
+        assert_eq!(q.quantile(0.0), Some(0.0));
+    }
+
+    #[test]
+    fn nan_ignored() {
+        let mut q = Quantiles::new();
+        q.record(f64::NAN);
+        q.record(1.0);
+        assert_eq!(q.count(), 1);
+        assert_eq!(q.median(), Some(1.0));
+    }
+
+    #[test]
+    fn summary_format() {
+        let mut q = Quantiles::new();
+        q.extend((0..1000).map(|i| i as f64 / 1000.0));
+        let s = q.summary().unwrap();
+        // p50 = 0.4995, which binary float rounds down at 3 decimals.
+        assert!(s.contains("p50 0.499") || s.contains("p50 0.500"), "{s}");
+        assert!(s.contains("max 0.999"), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_quantile_panics() {
+        let mut q = Quantiles::new();
+        q.record(1.0);
+        q.quantile(1.5);
+    }
+}

@@ -1,0 +1,543 @@
+//! The live bandwidth ledger and flow allocation with rollback.
+
+use crate::config::NetworkConfig;
+use crate::demand::FlowDemands;
+use crate::trunk::{Trunk, TrunkId};
+use risa_topology::{BoxId, Cluster, RackId};
+use serde::{Deserialize, Serialize};
+
+/// How a link is chosen within a trunk — the paper's §4.1 distinction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkPolicy {
+    /// First link with enough free bandwidth (NULB, and RISA's AllocNet).
+    FirstFit,
+    /// Link with the most free bandwidth (NALB).
+    MostAvailable,
+}
+
+/// Bandwidth reserved on one specific link of one trunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HopGrant {
+    /// Which trunk.
+    pub trunk: TrunkId,
+    /// Link index within the trunk.
+    pub link: usize,
+    /// Reserved bandwidth.
+    pub mbps: u64,
+}
+
+/// A fully reserved end-to-end flow.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowPath {
+    /// Per-trunk grants along the path (2 hops intra-rack, 4 inter-rack).
+    pub hops: Vec<HopGrant>,
+    /// Whether the flow crosses the inter-rack switch.
+    pub inter_rack: bool,
+    /// The flow's bandwidth.
+    pub mbps: u64,
+}
+
+/// The two reserved flows of one admitted VM.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VmNetAllocation {
+    /// CPU↔RAM flow.
+    pub cpu_ram: FlowPath,
+    /// RAM↔storage flow.
+    pub ram_sto: FlowPath,
+}
+
+impl VmNetAllocation {
+    /// True when either flow crosses racks.
+    pub fn is_inter_rack(&self) -> bool {
+        self.cpu_ram.inter_rack || self.ram_sto.inter_rack
+    }
+
+    /// Total bandwidth reserved across both flows (counting each once, not
+    /// per hop).
+    pub fn total_mbps(&self) -> u64 {
+        self.cpu_ram.mbps + self.ram_sto.mbps
+    }
+}
+
+/// Why a flow could not be wired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NetError {
+    /// No link in `trunk` had `needed_mbps` free.
+    InsufficientBandwidth {
+        /// The saturated trunk.
+        trunk: TrunkId,
+        /// The demand that did not fit.
+        needed_mbps: u64,
+    },
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::InsufficientBandwidth { trunk, needed_mbps } => {
+                write!(f, "no link in {trunk:?} has {needed_mbps} Mb/s free")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// The mutable network: one trunk per box and one per rack.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetworkState {
+    cfg: NetworkConfig,
+    box_trunks: Vec<Trunk>,
+    rack_trunks: Vec<Trunk>,
+}
+
+impl NetworkState {
+    /// Build a pristine network mirroring `cluster`'s boxes and racks.
+    pub fn new(cfg: NetworkConfig, cluster: &Cluster) -> Self {
+        cfg.validate().expect("invalid network configuration");
+        NetworkState {
+            box_trunks: (0..cluster.num_boxes())
+                .map(|_| Trunk::new(cfg.box_uplink_width, cfg.link_mbps))
+                .collect(),
+            rack_trunks: (0..cluster.num_racks())
+                .map(|_| Trunk::new(cfg.rack_uplink_width, cfg.link_mbps))
+                .collect(),
+            cfg,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.cfg
+    }
+
+    /// Immutable access to a trunk.
+    pub fn trunk(&self, id: TrunkId) -> &Trunk {
+        match id {
+            TrunkId::BoxUplink(b) => &self.box_trunks[b as usize],
+            TrunkId::RackUplink(r) => &self.rack_trunks[r as usize],
+        }
+    }
+
+    fn trunk_mut(&mut self, id: TrunkId) -> &mut Trunk {
+        match id {
+            TrunkId::BoxUplink(b) => &mut self.box_trunks[b as usize],
+            TrunkId::RackUplink(r) => &mut self.rack_trunks[r as usize],
+        }
+    }
+
+    /// Total free bandwidth on a box's uplink trunk (NALB's sort key).
+    pub fn box_uplink_free_mbps(&self, b: BoxId) -> u64 {
+        self.box_trunks[b.0 as usize].free_mbps()
+    }
+
+    /// Total free bandwidth on a rack's uplink trunk.
+    pub fn rack_uplink_free_mbps(&self, r: RackId) -> u64 {
+        self.rack_trunks[r.0 as usize].free_mbps()
+    }
+
+    /// The trunks an `src → dst` flow must cross, in order.
+    fn path_trunks(cluster: &Cluster, src: BoxId, dst: BoxId) -> (Vec<TrunkId>, bool) {
+        let (ra, rb) = (cluster.rack_of(src), cluster.rack_of(dst));
+        if src == dst {
+            // Both endpoints in the same box: stays on the box's internal
+            // electronic crossbar, no optical trunk crossed. (Cannot happen
+            // with single-resource boxes, but the model stays total.)
+            (vec![], false)
+        } else if ra == rb {
+            (
+                vec![TrunkId::BoxUplink(src.0), TrunkId::BoxUplink(dst.0)],
+                false,
+            )
+        } else {
+            (
+                vec![
+                    TrunkId::BoxUplink(src.0),
+                    TrunkId::RackUplink(ra.0),
+                    TrunkId::RackUplink(rb.0),
+                    TrunkId::BoxUplink(dst.0),
+                ],
+                true,
+            )
+        }
+    }
+
+    /// Reserve one flow of `mbps` between two boxes. All-or-nothing: on
+    /// failure every hop taken so far is rolled back.
+    pub fn alloc_flow(
+        &mut self,
+        cluster: &Cluster,
+        src: BoxId,
+        dst: BoxId,
+        mbps: u64,
+        policy: LinkPolicy,
+    ) -> Result<FlowPath, NetError> {
+        let (trunks, inter_rack) = Self::path_trunks(cluster, src, dst);
+        let mut hops: Vec<HopGrant> = Vec::with_capacity(trunks.len());
+        for tid in trunks {
+            let trunk = self.trunk_mut(tid);
+            let link = match policy {
+                LinkPolicy::FirstFit => trunk.first_fit(mbps),
+                LinkPolicy::MostAvailable => trunk.most_available(mbps),
+            };
+            match link {
+                Some(i) => {
+                    let taken = trunk.take(i, mbps);
+                    debug_assert!(taken, "selected link was checked to fit");
+                    hops.push(HopGrant {
+                        trunk: tid,
+                        link: i,
+                        mbps,
+                    });
+                }
+                None => {
+                    for h in &hops {
+                        self.trunk_mut(h.trunk).give(h.link, h.mbps);
+                    }
+                    return Err(NetError::InsufficientBandwidth {
+                        trunk: tid,
+                        needed_mbps: mbps,
+                    });
+                }
+            }
+        }
+        Ok(FlowPath {
+            hops,
+            inter_rack,
+            mbps,
+        })
+    }
+
+    /// Return every hop of a flow.
+    pub fn release_flow(&mut self, path: &FlowPath) {
+        for h in &path.hops {
+            self.trunk_mut(h.trunk).give(h.link, h.mbps);
+        }
+    }
+
+    /// Reserve both flows of a VM (CPU↔RAM then RAM↔storage), atomically.
+    pub fn alloc_vm(
+        &mut self,
+        cluster: &Cluster,
+        cpu_box: BoxId,
+        ram_box: BoxId,
+        sto_box: BoxId,
+        demand: &FlowDemands,
+        policy: LinkPolicy,
+    ) -> Result<VmNetAllocation, NetError> {
+        let cpu_ram = self.alloc_flow(cluster, cpu_box, ram_box, demand.cpu_ram_mbps, policy)?;
+        match self.alloc_flow(cluster, ram_box, sto_box, demand.ram_sto_mbps, policy) {
+            Ok(ram_sto) => Ok(VmNetAllocation { cpu_ram, ram_sto }),
+            Err(e) => {
+                self.release_flow(&cpu_ram);
+                Err(e)
+            }
+        }
+    }
+
+    /// Release both flows of a VM.
+    pub fn release_vm(&mut self, alloc: &VmNetAllocation) {
+        self.release_flow(&alloc.cpu_ram);
+        self.release_flow(&alloc.ram_sto);
+    }
+
+    /// Cheap feasibility pre-check used by RISA's
+    /// `AVAIL_INTRA_RACK_NET ≠ ∅` test (Alg. 1): could `rack` plausibly
+    /// carry the VM's two intra-rack flows?
+    ///
+    /// Necessary (not sufficient) conditions: some CPU box uplink fits the
+    /// CPU-RAM flow, some storage box uplink fits the RAM-storage flow, and
+    /// some RAM box trunk can carry both flows (on one link or two). The
+    /// definitive answer is still the actual [`NetworkState::alloc_vm`],
+    /// which the scheduler performs afterwards.
+    pub fn rack_intra_feasible(
+        &self,
+        cluster: &Cluster,
+        rack: RackId,
+        demand: &FlowDemands,
+    ) -> bool {
+        use risa_topology::ResourceKind;
+        let fits = |b: &BoxId, mbps: u64| {
+            self.box_trunks[b.0 as usize].max_link_free_mbps() >= mbps
+        };
+        let cpu_ok = cluster
+            .boxes_in_rack(rack, ResourceKind::Cpu)
+            .iter()
+            .any(|b| fits(b, demand.cpu_ram_mbps));
+        let sto_ok = cluster
+            .boxes_in_rack(rack, ResourceKind::Storage)
+            .iter()
+            .any(|b| fits(b, demand.ram_sto_mbps));
+        let ram_ok = cluster
+            .boxes_in_rack(rack, ResourceKind::Ram)
+            .iter()
+            .any(|b| {
+                let t = &self.box_trunks[b.0 as usize];
+                t.max_link_free_mbps() >= demand.cpu_ram_mbps.max(demand.ram_sto_mbps)
+                    && t.free_mbps() >= demand.ram_box_mbps()
+            });
+        cpu_ok && ram_ok && sto_ok
+    }
+
+    /// Total capacity of the intra-rack layer (all box uplink trunks).
+    pub fn intra_capacity_mbps(&self) -> u64 {
+        self.box_trunks.iter().map(Trunk::capacity_mbps).sum()
+    }
+
+    /// Bandwidth currently reserved on the intra-rack layer.
+    pub fn intra_used_mbps(&self) -> u64 {
+        self.box_trunks.iter().map(Trunk::used_mbps).sum()
+    }
+
+    /// Total capacity of the inter-rack layer (all rack uplink trunks).
+    pub fn inter_capacity_mbps(&self) -> u64 {
+        self.rack_trunks.iter().map(Trunk::capacity_mbps).sum()
+    }
+
+    /// Bandwidth currently reserved on the inter-rack layer.
+    pub fn inter_used_mbps(&self) -> u64 {
+        self.rack_trunks.iter().map(Trunk::used_mbps).sum()
+    }
+
+    /// Intra-rack layer utilization in `[0, 1]` (Figure 8 left panel).
+    pub fn intra_utilization(&self) -> f64 {
+        self.intra_used_mbps() as f64 / self.intra_capacity_mbps() as f64
+    }
+
+    /// Inter-rack layer utilization in `[0, 1]` (Figure 8 right panel).
+    pub fn inter_utilization(&self) -> f64 {
+        self.inter_used_mbps() as f64 / self.inter_capacity_mbps() as f64
+    }
+
+    /// Debug invariant: every link's free bandwidth within `[0, capacity]`
+    /// (guaranteed by construction; kept for the property suite's belt and
+    /// braces).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (i, t) in self.box_trunks.iter().enumerate() {
+            for l in 0..t.width() {
+                if t.link_free_mbps(l) > t.link_capacity_mbps() {
+                    return Err(format!("box trunk {i} link {l} over capacity"));
+                }
+            }
+        }
+        for (i, t) in self.rack_trunks.iter().enumerate() {
+            for l in 0..t.width() {
+                if t.link_free_mbps(l) > t.link_capacity_mbps() {
+                    return Err(format!("rack trunk {i} link {l} over capacity"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use risa_topology::TopologyConfig;
+
+    fn setup() -> (Cluster, NetworkState) {
+        let cluster = Cluster::new(TopologyConfig::paper());
+        let net = NetworkState::new(NetworkConfig::paper(), &cluster);
+        (cluster, net)
+    }
+
+    #[test]
+    fn pristine_network_capacities() {
+        let (_c, net) = setup();
+        // 108 box trunks x 8 links x 200 Gb/s.
+        assert_eq!(net.intra_capacity_mbps(), 108 * 8 * 200_000);
+        // 18 rack trunks x 16 links x 200 Gb/s.
+        assert_eq!(net.inter_capacity_mbps(), 18 * 16 * 200_000);
+        assert_eq!(net.intra_used_mbps(), 0);
+        assert_eq!(net.inter_utilization(), 0.0);
+    }
+
+    #[test]
+    fn intra_rack_flow_touches_only_box_trunks() {
+        let (c, mut net) = setup();
+        let f = net
+            .alloc_flow(&c, BoxId(0), BoxId(2), 5_000, LinkPolicy::FirstFit)
+            .unwrap();
+        assert!(!f.inter_rack);
+        assert_eq!(f.hops.len(), 2);
+        assert_eq!(net.intra_used_mbps(), 10_000);
+        assert_eq!(net.inter_used_mbps(), 0);
+        net.release_flow(&f);
+        assert_eq!(net.intra_used_mbps(), 0);
+    }
+
+    #[test]
+    fn inter_rack_flow_crosses_four_trunks() {
+        let (c, mut net) = setup();
+        // Box 0 in rack 0, box 8 (RAM) in rack 1.
+        let f = net
+            .alloc_flow(&c, BoxId(0), BoxId(8), 5_000, LinkPolicy::FirstFit)
+            .unwrap();
+        assert!(f.inter_rack);
+        assert_eq!(f.hops.len(), 4);
+        assert_eq!(net.intra_used_mbps(), 10_000);
+        assert_eq!(net.inter_used_mbps(), 10_000);
+        net.release_flow(&f);
+        net.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn first_fit_packs_link_zero() {
+        let (c, mut net) = setup();
+        let f1 = net
+            .alloc_flow(&c, BoxId(0), BoxId(2), 50_000, LinkPolicy::FirstFit)
+            .unwrap();
+        let f2 = net
+            .alloc_flow(&c, BoxId(0), BoxId(2), 50_000, LinkPolicy::FirstFit)
+            .unwrap();
+        assert_eq!(f1.hops[0].link, 0);
+        assert_eq!(f2.hops[0].link, 0, "first-fit keeps filling link 0");
+        let _ = (f1, f2);
+    }
+
+    #[test]
+    fn most_available_spreads_across_links() {
+        let (c, mut net) = setup();
+        let f1 = net
+            .alloc_flow(&c, BoxId(0), BoxId(2), 50_000, LinkPolicy::MostAvailable)
+            .unwrap();
+        let f2 = net
+            .alloc_flow(&c, BoxId(0), BoxId(2), 50_000, LinkPolicy::MostAvailable)
+            .unwrap();
+        assert_eq!(f1.hops[0].link, 0);
+        assert_eq!(
+            f2.hops[0].link, 1,
+            "most-available moves to the emptier link"
+        );
+    }
+
+    #[test]
+    fn flow_failure_rolls_back_all_hops() {
+        let (c, mut net) = setup();
+        // Saturate box 2's trunk entirely (8 full-link flows).
+        let fills: Vec<FlowPath> = (0..8)
+            .map(|_| {
+                net.alloc_flow(&c, BoxId(2), BoxId(4), 200_000, LinkPolicy::FirstFit)
+                    .unwrap()
+            })
+            .collect();
+        let before = net.intra_used_mbps();
+        let err = net
+            .alloc_flow(&c, BoxId(0), BoxId(2), 1_000, LinkPolicy::FirstFit)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            NetError::InsufficientBandwidth {
+                trunk: TrunkId::BoxUplink(2),
+                ..
+            }
+        ));
+        assert_eq!(
+            net.intra_used_mbps(),
+            before,
+            "failed flow must not leak bandwidth on box 0's trunk"
+        );
+        for f in &fills {
+            net.release_flow(f);
+        }
+        assert_eq!(net.intra_used_mbps(), 0);
+    }
+
+    #[test]
+    fn vm_allocation_reserves_both_flows() {
+        let (c, mut net) = setup();
+        let d = FlowDemands {
+            cpu_ram_mbps: 20_000,
+            ram_sto_mbps: 2_000,
+        };
+        let a = net
+            .alloc_vm(&c, BoxId(0), BoxId(2), BoxId(4), &d, LinkPolicy::FirstFit)
+            .unwrap();
+        assert!(!a.is_inter_rack());
+        assert_eq!(a.total_mbps(), 22_000);
+        // cpu-ram crosses 2 trunks, ram-sto crosses 2: 2*20k + 2*2k.
+        assert_eq!(net.intra_used_mbps(), 44_000);
+        net.release_vm(&a);
+        assert_eq!(net.intra_used_mbps(), 0);
+    }
+
+    #[test]
+    fn vm_allocation_rolls_back_first_flow_when_second_fails() {
+        let (c, mut net) = setup();
+        // Saturate storage box 4's trunk.
+        let fills: Vec<FlowPath> = (0..8)
+            .map(|_| {
+                net.alloc_flow(&c, BoxId(4), BoxId(5), 200_000, LinkPolicy::FirstFit)
+                    .unwrap()
+            })
+            .collect();
+        let d = FlowDemands {
+            cpu_ram_mbps: 20_000,
+            ram_sto_mbps: 2_000,
+        };
+        let before_box0 = net.box_uplink_free_mbps(BoxId(0));
+        assert!(net
+            .alloc_vm(&c, BoxId(0), BoxId(2), BoxId(4), &d, LinkPolicy::FirstFit)
+            .is_err());
+        assert_eq!(
+            net.box_uplink_free_mbps(BoxId(0)),
+            before_box0,
+            "cpu-ram flow must be rolled back"
+        );
+        for f in &fills {
+            net.release_flow(f);
+        }
+    }
+
+    #[test]
+    fn rack_feasibility_precheck() {
+        let (c, mut net) = setup();
+        let d = FlowDemands {
+            cpu_ram_mbps: 40_000,
+            ram_sto_mbps: 8_000,
+        };
+        assert!(net.rack_intra_feasible(&c, RackId(0), &d));
+        // Saturate both CPU box trunks in rack 0 (spreading the far ends
+        // across both RAM boxes; each RAM trunk fills too, which is fine —
+        // the feasibility check must fail on the CPU side regardless).
+        let mut fills = vec![];
+        for cpu_box in [BoxId(0), BoxId(1)] {
+            for ram_box in [BoxId(2), BoxId(3)] {
+                for _ in 0..4 {
+                    fills.push(
+                        net.alloc_flow(&c, cpu_box, ram_box, 200_000, LinkPolicy::FirstFit)
+                            .unwrap(),
+                    );
+                }
+            }
+        }
+        assert!(!net.rack_intra_feasible(&c, RackId(0), &d));
+        assert!(net.rack_intra_feasible(&c, RackId(1), &d));
+        for f in &fills {
+            net.release_flow(f);
+        }
+        assert!(net.rack_intra_feasible(&c, RackId(0), &d));
+    }
+
+    #[test]
+    fn same_box_flow_is_free() {
+        let (c, mut net) = setup();
+        let f = net
+            .alloc_flow(&c, BoxId(0), BoxId(0), 99_999, LinkPolicy::FirstFit)
+            .unwrap();
+        assert!(f.hops.is_empty());
+        assert_eq!(net.intra_used_mbps(), 0);
+    }
+
+    #[test]
+    fn zero_demand_always_succeeds() {
+        let (c, mut net) = setup();
+        let f = net
+            .alloc_flow(&c, BoxId(0), BoxId(2), 0, LinkPolicy::FirstFit)
+            .unwrap();
+        assert_eq!(f.hops.len(), 2);
+        assert_eq!(net.intra_used_mbps(), 0);
+        net.release_flow(&f);
+    }
+}

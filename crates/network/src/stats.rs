@@ -1,0 +1,197 @@
+//! Network introspection: per-trunk load distribution and hot-spot
+//! reporting. The paper's Figure 8 reports aggregate utilization; these
+//! helpers expose the *distribution* behind it (how evenly RISA's
+//! round-robin spreads load vs. NULB's first-fit pile-up).
+
+use crate::state::NetworkState;
+use crate::trunk::TrunkId;
+use risa_topology::{BoxId, Cluster, RackId};
+use serde::{Deserialize, Serialize};
+
+/// Load snapshot of one trunk.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrunkLoad {
+    /// Which trunk.
+    pub trunk: TrunkId,
+    /// Reserved bandwidth, Mb/s.
+    pub used_mbps: u64,
+    /// Capacity, Mb/s.
+    pub capacity_mbps: u64,
+}
+
+impl TrunkLoad {
+    /// Utilization in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.capacity_mbps == 0 {
+            0.0
+        } else {
+            self.used_mbps as f64 / self.capacity_mbps as f64
+        }
+    }
+}
+
+/// Distribution summary of a set of trunk loads.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoadDistribution {
+    /// Number of trunks.
+    pub count: usize,
+    /// Mean utilization.
+    pub mean: f64,
+    /// Maximum utilization.
+    pub max: f64,
+    /// Coefficient of variation (σ/µ; 0 = perfectly balanced).
+    pub cv: f64,
+}
+
+impl LoadDistribution {
+    fn of(loads: &[TrunkLoad]) -> Self {
+        let n = loads.len().max(1) as f64;
+        let mean = loads.iter().map(TrunkLoad::utilization).sum::<f64>() / n;
+        let max = loads
+            .iter()
+            .map(TrunkLoad::utilization)
+            .fold(0.0f64, f64::max);
+        let var = loads
+            .iter()
+            .map(|l| {
+                let d = l.utilization() - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n;
+        let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+        LoadDistribution {
+            count: loads.len(),
+            mean,
+            max,
+            cv,
+        }
+    }
+}
+
+/// Snapshot every box-uplink trunk's load.
+pub fn box_trunk_loads(net: &NetworkState, cluster: &Cluster) -> Vec<TrunkLoad> {
+    (0..cluster.num_boxes() as u32)
+        .map(|b| {
+            let t = net.trunk(TrunkId::BoxUplink(b));
+            TrunkLoad {
+                trunk: TrunkId::BoxUplink(b),
+                used_mbps: t.used_mbps(),
+                capacity_mbps: t.capacity_mbps(),
+            }
+        })
+        .collect()
+}
+
+/// Snapshot every rack-uplink trunk's load.
+pub fn rack_trunk_loads(net: &NetworkState, cluster: &Cluster) -> Vec<TrunkLoad> {
+    (0..cluster.num_racks())
+        .map(|r| {
+            let t = net.trunk(TrunkId::RackUplink(r));
+            TrunkLoad {
+                trunk: TrunkId::RackUplink(r),
+                used_mbps: t.used_mbps(),
+                capacity_mbps: t.capacity_mbps(),
+            }
+        })
+        .collect()
+}
+
+/// Distribution of box-uplink utilization (the load-balance quality
+/// metric RISA's round-robin targets).
+pub fn box_load_distribution(net: &NetworkState, cluster: &Cluster) -> LoadDistribution {
+    LoadDistribution::of(&box_trunk_loads(net, cluster))
+}
+
+/// Distribution of rack-uplink utilization.
+pub fn rack_load_distribution(net: &NetworkState, cluster: &Cluster) -> LoadDistribution {
+    LoadDistribution::of(&rack_trunk_loads(net, cluster))
+}
+
+/// The `n` most loaded trunks (box and rack), descending by utilization.
+pub fn hotspots(net: &NetworkState, cluster: &Cluster, n: usize) -> Vec<TrunkLoad> {
+    let mut all = box_trunk_loads(net, cluster);
+    all.extend(rack_trunk_loads(net, cluster));
+    all.sort_by(|a, b| b.utilization().total_cmp(&a.utilization()));
+    all.truncate(n);
+    all
+}
+
+/// Convenience: which rack a hot trunk belongs to.
+pub fn rack_of_trunk(cluster: &Cluster, trunk: TrunkId) -> RackId {
+    match trunk {
+        TrunkId::BoxUplink(b) => cluster.rack_of(BoxId(b)),
+        TrunkId::RackUplink(r) => RackId(r),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NetworkConfig;
+    use crate::state::LinkPolicy;
+    use risa_topology::TopologyConfig;
+
+    fn setup() -> (Cluster, NetworkState) {
+        let c = Cluster::new(TopologyConfig::paper());
+        let n = NetworkState::new(NetworkConfig::paper(), &c);
+        (c, n)
+    }
+
+    #[test]
+    fn pristine_network_is_perfectly_balanced() {
+        let (c, n) = setup();
+        let d = box_load_distribution(&n, &c);
+        assert_eq!(d.count, 108);
+        assert_eq!(d.mean, 0.0);
+        assert_eq!(d.max, 0.0);
+        assert_eq!(d.cv, 0.0);
+    }
+
+    #[test]
+    fn skewed_load_shows_in_cv_and_hotspots() {
+        let (c, mut n) = setup();
+        // Pile traffic on box 0's trunk, spreading the far ends so box 0
+        // is strictly the hottest (each flow loads both endpoint trunks).
+        for dst in [BoxId(2), BoxId(3), BoxId(2), BoxId(3)] {
+            n.alloc_flow(&c, BoxId(0), dst, 150_000, LinkPolicy::FirstFit)
+                .unwrap();
+        }
+        let d = box_load_distribution(&n, &c);
+        assert!(d.cv > 3.0, "one hot trunk of 108 → large CV, got {}", d.cv);
+        let hot = hotspots(&n, &c, 3);
+        assert_eq!(hot[0].trunk, TrunkId::BoxUplink(0));
+        assert!(hot[0].utilization() > hot[1].utilization());
+        assert_eq!(rack_of_trunk(&c, hot[0].trunk), RackId(0));
+    }
+
+    #[test]
+    fn rack_loads_follow_inter_rack_flows() {
+        let (c, mut n) = setup();
+        n.alloc_flow(&c, BoxId(0), BoxId(8), 100_000, LinkPolicy::FirstFit)
+            .unwrap();
+        let loads = rack_trunk_loads(&n, &c);
+        assert_eq!(loads[0].used_mbps, 100_000);
+        assert_eq!(loads[1].used_mbps, 100_000);
+        assert!(loads[2..].iter().all(|l| l.used_mbps == 0));
+        let d = rack_load_distribution(&n, &c);
+        assert!(d.mean > 0.0);
+        assert_eq!(rack_of_trunk(&c, loads[1].trunk), RackId(1));
+    }
+
+    #[test]
+    fn trunk_load_utilization_math() {
+        let l = TrunkLoad {
+            trunk: TrunkId::BoxUplink(0),
+            used_mbps: 400_000,
+            capacity_mbps: 1_600_000,
+        };
+        assert_eq!(l.utilization(), 0.25);
+        let z = TrunkLoad {
+            trunk: TrunkId::BoxUplink(0),
+            used_mbps: 0,
+            capacity_mbps: 0,
+        };
+        assert_eq!(z.utilization(), 0.0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Trunks: bundles of parallel 200 Gb/s links with per-link accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies one trunk in the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TrunkId {
+    /// The trunk between box `box_idx` and its rack switch.
+    BoxUplink(u32),
+    /// The trunk between rack `rack_idx`'s switch and the inter-rack switch.
+    RackUplink(u16),
+}
+
+impl TrunkId {
+    /// True for rack↔inter-rack trunks (the "inter-rack network" of Fig 8).
+    pub fn is_inter_rack(&self) -> bool {
+        matches!(self, TrunkId::RackUplink(_))
+    }
+}
+
+/// One trunk: `width` independent links, each with its own free-bandwidth
+/// counter in Mb/s.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Trunk {
+    link_mbps: u64,
+    free: Vec<u64>,
+}
+
+impl Trunk {
+    /// A pristine trunk of `width` links of `link_mbps` each.
+    pub fn new(width: u16, link_mbps: u64) -> Self {
+        Trunk {
+            link_mbps,
+            free: vec![link_mbps; width as usize],
+        }
+    }
+
+    /// Number of links.
+    pub fn width(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Capacity of each individual link.
+    pub fn link_capacity_mbps(&self) -> u64 {
+        self.link_mbps
+    }
+
+    /// Total trunk capacity.
+    pub fn capacity_mbps(&self) -> u64 {
+        self.link_mbps * self.free.len() as u64
+    }
+
+    /// Total free bandwidth across all links.
+    pub fn free_mbps(&self) -> u64 {
+        self.free.iter().sum()
+    }
+
+    /// Total allocated bandwidth.
+    pub fn used_mbps(&self) -> u64 {
+        self.capacity_mbps() - self.free_mbps()
+    }
+
+    /// Free bandwidth of link `i`.
+    pub fn link_free_mbps(&self, i: usize) -> u64 {
+        self.free[i]
+    }
+
+    /// Largest free bandwidth on any single link — what NALB sorts by, and
+    /// what feasibility pre-checks compare flow demands against.
+    pub fn max_link_free_mbps(&self) -> u64 {
+        self.free.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Index of the **first** link with at least `mbps` free (NULB/RISA
+    /// link policy), or `None`.
+    pub fn first_fit(&self, mbps: u64) -> Option<usize> {
+        self.free.iter().position(|&f| f >= mbps)
+    }
+
+    /// Index of the link with the **most** free bandwidth, provided it has
+    /// at least `mbps` free (NALB link policy), or `None`. Ties break to
+    /// the lowest index for determinism.
+    pub fn most_available(&self, mbps: u64) -> Option<usize> {
+        let (idx, &best) = self
+            .free
+            .iter()
+            .enumerate()
+            .max_by(|(ia, a), (ib, b)| a.cmp(b).then(ib.cmp(ia)))?;
+        (best >= mbps).then_some(idx)
+    }
+
+    /// Reserve `mbps` on link `i`; `false` when the link lacks capacity
+    /// (nothing is taken in that case).
+    #[must_use]
+    pub fn take(&mut self, i: usize, mbps: u64) -> bool {
+        if self.free[i] < mbps {
+            return false;
+        }
+        self.free[i] -= mbps;
+        true
+    }
+
+    /// Return `mbps` to link `i`. Panics (debug) on over-release — the
+    /// release path only ever replays recorded grants.
+    pub fn give(&mut self, i: usize, mbps: u64) {
+        self.free[i] += mbps;
+        debug_assert!(
+            self.free[i] <= self.link_mbps,
+            "link over-released: {} > {}",
+            self.free[i],
+            self.link_mbps
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pristine_trunk() {
+        let t = Trunk::new(2, 200_000);
+        assert_eq!(t.width(), 2);
+        assert_eq!(t.capacity_mbps(), 400_000);
+        assert_eq!(t.free_mbps(), 400_000);
+        assert_eq!(t.used_mbps(), 0);
+        assert_eq!(t.max_link_free_mbps(), 200_000);
+    }
+
+    #[test]
+    fn first_fit_scans_in_order() {
+        let mut t = Trunk::new(3, 100);
+        assert!(t.take(0, 95));
+        // link0 has 5 free; demand 10 skips to link1.
+        assert_eq!(t.first_fit(10), Some(1));
+        assert_eq!(t.first_fit(5), Some(0));
+        assert_eq!(t.first_fit(101), None);
+    }
+
+    #[test]
+    fn most_available_prefers_emptiest_link() {
+        let mut t = Trunk::new(3, 100);
+        assert!(t.take(0, 10)); // 90 free
+        assert!(t.take(1, 50)); // 50 free
+        assert_eq!(t.most_available(1), Some(2)); // 100 free
+        assert!(t.take(2, 60)); // 40 free
+        assert_eq!(t.most_available(1), Some(0));
+        assert_eq!(t.most_available(95), None);
+    }
+
+    #[test]
+    fn most_available_ties_break_low_index() {
+        let t = Trunk::new(4, 100);
+        assert_eq!(t.most_available(1), Some(0));
+    }
+
+    #[test]
+    fn take_give_roundtrip() {
+        let mut t = Trunk::new(2, 100);
+        assert!(t.take(1, 60));
+        assert_eq!(t.link_free_mbps(1), 40);
+        assert_eq!(t.used_mbps(), 60);
+        t.give(1, 60);
+        assert_eq!(t.free_mbps(), 200);
+    }
+
+    #[test]
+    fn take_fails_without_capacity() {
+        let mut t = Trunk::new(1, 100);
+        assert!(t.take(0, 100));
+        assert!(!t.take(0, 1));
+    }
+
+    #[test]
+    fn trunk_id_classification() {
+        assert!(TrunkId::RackUplink(0).is_inter_rack());
+        assert!(!TrunkId::BoxUplink(0).is_inter_rack());
+    }
+}

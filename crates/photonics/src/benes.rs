@@ -1,0 +1,88 @@
+//! Beneš switching-fabric combinatorics.
+//!
+//! An N×N Beneš network (N a power of two) is the canonical rearrangeably
+//! non-blocking fabric the paper assumes (§3.2, citing Lee & Dupuis \[10\]).
+//! It has `2·log2(N) − 1` stages of `N/2` 2×2 cells; any input→output path
+//! crosses exactly one cell per stage.
+
+/// log2 of the port count; panics unless `ports` is a power of two ≥ 2
+/// (checked at configuration validation time).
+fn log2_ports(ports: u16) -> u32 {
+    assert!(
+        ports.is_power_of_two() && ports >= 2,
+        "Benes fabric needs a power-of-two port count >= 2, got {ports}"
+    );
+    ports.trailing_zeros()
+}
+
+/// Number of cell stages in an N-port Beneš network: `2·log2(N) − 1`.
+pub fn stages(ports: u16) -> u32 {
+    2 * log2_ports(ports) - 1
+}
+
+/// Total 2×2 cells in the fabric: `stages × N/2`.
+pub fn total_cells(ports: u16) -> u64 {
+    stages(ports) as u64 * (ports as u64 / 2)
+}
+
+/// Cells along one input→output path: one per stage.
+pub fn path_cells(ports: u16) -> u32 {
+    stages(ports)
+}
+
+/// Size-dependent switch reconfiguration latency in seconds:
+/// `stages(N) × per-stage latency` (the \[6\]-style scaling; see
+/// `PhotonicsConfig::switch_latency_ns_per_stage`).
+pub fn switch_latency_s(ports: u16, ns_per_stage: f64) -> f64 {
+    stages(ports) as f64 * ns_per_stage * 1e-9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The three switch sizes of the paper's evaluation (§5.2).
+    #[test]
+    fn paper_switch_sizes() {
+        // Box switch: 64 ports.
+        assert_eq!(stages(64), 11);
+        assert_eq!(total_cells(64), 11 * 32);
+        assert_eq!(path_cells(64), 11);
+        // Intra-rack switch: 256 ports.
+        assert_eq!(stages(256), 15);
+        assert_eq!(total_cells(256), 15 * 128);
+        // Inter-rack switch: 512 ports.
+        assert_eq!(stages(512), 17);
+        assert_eq!(total_cells(512), 17 * 256);
+    }
+
+    #[test]
+    fn smallest_fabric() {
+        // A 2-port Beneš degenerates to a single cell.
+        assert_eq!(stages(2), 1);
+        assert_eq!(total_cells(2), 1);
+    }
+
+    #[test]
+    fn cells_grow_superlinearly_with_ports() {
+        let mut last = 0;
+        for p in [2u16, 4, 8, 16, 32, 64, 128, 256, 512] {
+            let c = total_cells(p);
+            assert!(c > last);
+            last = c;
+        }
+    }
+
+    #[test]
+    fn latency_scales_with_stages() {
+        let ns = 1_000.0;
+        assert!((switch_latency_s(64, ns) - 11.0e-6).abs() < 1e-15);
+        assert!(switch_latency_s(512, ns) > switch_latency_s(64, ns));
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_pow2_panics() {
+        stages(100);
+    }
+}

@@ -1,0 +1,101 @@
+//! Photonic device constants (§3.1–3.2 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// Device-level constants of the optical data plane.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhotonicsConfig {
+    /// MRR cell trimming (state-holding) power, mW. Paper/\[13\]: 22.67 mW.
+    pub p_trim_mw: f64,
+    /// MRR cell switching (reconfiguration) power, mW. Paper/\[13\]: 13.75 mW.
+    pub p_sw_mw: f64,
+    /// Cell-sharing factor α ∈ [0.5, 1]; the paper simulates with 0.9.
+    pub alpha: f64,
+    /// SiP transceiver energy per bit, pJ (paper/\[20\]: 22.5 pJ/bit).
+    pub transceiver_pj_per_bit: f64,
+    /// Per-stage MRR reconfiguration latency, ns. The paper cites \[6\] for
+    /// size-dependent switching latency without printing values; thermal
+    /// MRR tuning is O(µs), so we default to 1 µs per stage, making
+    /// `lat_sw(N) = stages(N) µs`. The switching-energy term is ~9 orders
+    /// of magnitude below trim energy for realistic lifetimes, so this
+    /// choice cannot affect any reported figure's shape.
+    pub switch_latency_ns_per_stage: f64,
+}
+
+impl PhotonicsConfig {
+    /// The paper's constants.
+    pub const fn paper() -> Self {
+        PhotonicsConfig {
+            p_trim_mw: 22.67,
+            p_sw_mw: 13.75,
+            alpha: 0.9,
+            transceiver_pj_per_bit: 22.5,
+            switch_latency_ns_per_stage: 1_000.0,
+        }
+    }
+
+    /// Sanity-check the constants.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.5..=1.0).contains(&self.alpha) {
+            return Err(format!(
+                "alpha must lie in [0.5, 1] (paper §3.2), got {}",
+                self.alpha
+            ));
+        }
+        for (name, v) in [
+            ("p_trim_mw", self.p_trim_mw),
+            ("p_sw_mw", self.p_sw_mw),
+            ("transceiver_pj_per_bit", self.transceiver_pj_per_bit),
+            ("switch_latency_ns_per_stage", self.switch_latency_ns_per_stage),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("{name} must be finite and non-negative, got {v}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for PhotonicsConfig {
+    fn default() -> Self {
+        PhotonicsConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        let c = PhotonicsConfig::paper();
+        assert_eq!(c.p_trim_mw, 22.67);
+        assert_eq!(c.p_sw_mw, 13.75);
+        assert_eq!(c.alpha, 0.9);
+        assert_eq!(c.transceiver_pj_per_bit, 22.5);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn alpha_bounds_enforced() {
+        let mut c = PhotonicsConfig::paper();
+        c.alpha = 0.4; // below "every cell shared"
+        assert!(c.validate().is_err());
+        c.alpha = 1.01; // above "no cell shared"
+        assert!(c.validate().is_err());
+        c.alpha = 0.5;
+        assert!(c.validate().is_ok());
+        c.alpha = 1.0;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn negative_power_rejected() {
+        let mut c = PhotonicsConfig::paper();
+        c.p_trim_mw = -1.0;
+        assert!(c.validate().is_err());
+        let mut c = PhotonicsConfig::paper();
+        c.transceiver_pj_per_bit = f64::NAN;
+        assert!(c.validate().is_err());
+    }
+}

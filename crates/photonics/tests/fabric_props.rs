@@ -1,0 +1,98 @@
+//! Property tests for the Beneš routing fabric: every random partial
+//! permutation routes, simulates to the requested outputs, crosses one
+//! cell per stage, and yields a sharing factor in [0.5, 1].
+
+use proptest::prelude::*;
+use risa_photonics::benes;
+use risa_photonics::fabric::Fabric;
+
+/// Strategy: a random partial permutation on `ports` ports.
+fn partial_perm(ports: u16) -> impl Strategy<Value = Vec<Option<u16>>> {
+    let n = ports as usize;
+    // Random permutation + random mask.
+    (Just(ports), any::<u64>(), prop::collection::vec(any::<bool>(), n)).prop_map(
+        move |(ports, seed, mask)| {
+            let n = ports as usize;
+            let mut p: Vec<u16> = (0..ports).collect();
+            let mut state = seed | 1;
+            for i in (1..n).rev() {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let j = (state >> 33) as usize % (i + 1);
+                p.swap(i, j);
+            }
+            p.into_iter()
+                .zip(mask)
+                .map(|(o, keep)| keep.then_some(o))
+                .collect()
+        },
+    )
+}
+
+fn check(ports: u16, perm: &[Option<u16>]) -> Result<(), TestCaseError> {
+    let routing = Fabric::route(ports, perm)
+        .map_err(|e| TestCaseError::fail(format!("routing failed: {e}")))?;
+    let out = routing.simulate();
+    let stages = benes::stages(ports) as usize;
+    let mut crossings = 0usize;
+    for (i, want) in perm.iter().enumerate() {
+        prop_assert_eq!(out[i], *want, "input {} misrouted", i);
+        match want {
+            Some(_) => {
+                let path = routing.path(i as u16).expect("routed input has a path");
+                prop_assert_eq!(path.len(), stages, "one cell per stage");
+                for (s, &(stage, idx)) in path.iter().enumerate() {
+                    prop_assert_eq!(stage as usize, s);
+                    prop_assert!(idx < ports as u32 / 2);
+                }
+                crossings += stages;
+            }
+            None => prop_assert!(routing.path(i as u16).is_none()),
+        }
+    }
+    prop_assert_eq!(routing.total_crossings(), crossings);
+    let alpha = routing.empirical_alpha();
+    prop_assert!((0.5..=1.0).contains(&alpha), "alpha {} out of range", alpha);
+    prop_assert!(routing.active_cells() as u64 <= benes::total_cells(ports));
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn routes_random_partial_perms_8(perm in partial_perm(8)) {
+        check(8, &perm)?;
+    }
+
+    #[test]
+    fn routes_random_partial_perms_16(perm in partial_perm(16)) {
+        check(16, &perm)?;
+    }
+
+    #[test]
+    fn routes_random_partial_perms_64(perm in partial_perm(64)) {
+        check(64, &perm)?;
+    }
+
+    /// The paper's box switch size under full permutations: α is exactly
+    /// 0.5 and every cell is active.
+    #[test]
+    fn full_perms_saturate_64(seed in any::<u64>()) {
+        let ports = 64u16;
+        let n = ports as usize;
+        let mut p: Vec<u16> = (0..ports).collect();
+        let mut state = seed | 1;
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            p.swap(i, j);
+        }
+        let perm: Vec<Option<u16>> = p.into_iter().map(Some).collect();
+        let routing = Fabric::route(ports, &perm).unwrap();
+        prop_assert_eq!(routing.active_cells() as u64, benes::total_cells(ports));
+        prop_assert!((routing.empirical_alpha() - 0.5).abs() < 1e-12);
+        check(ports, &perm)?;
+    }
+}

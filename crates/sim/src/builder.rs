@@ -1,0 +1,279 @@
+//! Fluent construction of a ready-to-run DDC simulation.
+
+use crate::config::{LatencyConfig, SimConfig};
+use crate::report::RunReport;
+use crate::spec::WorkloadSpec;
+use crate::world::{DdcWorld, SimEvent};
+use risa_des::{SimTime, Simulation};
+use risa_network::NetworkConfig;
+use risa_photonics::PhotonicsConfig;
+use risa_sched::Algorithm;
+use risa_topology::{ResourceKind, TopologyConfig, ALL_RESOURCES};
+
+/// Builder for a [`DdcSimulation`]. Defaults reproduce the paper exactly:
+/// Table 1 topology, §3.1 network, §3.2 photonics, RISA, and a small
+/// synthetic workload.
+#[derive(Debug, Clone)]
+pub struct SimulationBuilder {
+    cfg: SimConfig,
+    algorithm: Algorithm,
+    workload: WorkloadSpec,
+    timeline_interval: Option<f64>,
+    audit: bool,
+}
+
+impl SimulationBuilder {
+    /// Paper defaults.
+    pub fn new() -> Self {
+        SimulationBuilder {
+            cfg: SimConfig::paper(),
+            algorithm: Algorithm::Risa,
+            workload: WorkloadSpec::synthetic(100, 0),
+            timeline_interval: None,
+            audit: false,
+        }
+    }
+
+    /// Independently audit every assignment against a shadow ledger
+    /// (`risa_sched::audit`); the run panics on any violation. Costs one
+    /// hash-map insert/remove per VM — enabled throughout the test suite.
+    pub fn audit(mut self, on: bool) -> Self {
+        self.audit = on;
+        self
+    }
+
+    /// Record a utilization time series sampled every `interval` time
+    /// units, retrievable via [`DdcSimulation::timeline`].
+    pub fn record_timeline(mut self, interval: f64) -> Self {
+        self.timeline_interval = Some(interval);
+        self
+    }
+
+    /// Choose the scheduling algorithm.
+    pub fn algorithm(mut self, a: Algorithm) -> Self {
+        self.algorithm = a;
+        self
+    }
+
+    /// Choose the workload.
+    pub fn workload(mut self, w: WorkloadSpec) -> Self {
+        self.workload = w;
+        self
+    }
+
+    /// Override the topology (Table 1 by default).
+    pub fn topology(mut self, t: TopologyConfig) -> Self {
+        self.cfg.topology = t;
+        self
+    }
+
+    /// Override the network (§3.1/Table 2 by default).
+    pub fn network(mut self, n: NetworkConfig) -> Self {
+        self.cfg.network = n;
+        self
+    }
+
+    /// Override the photonics constants (§3.2 by default).
+    pub fn photonics(mut self, p: PhotonicsConfig) -> Self {
+        self.cfg.photonics = p;
+        self
+    }
+
+    /// Override the latency constants (§5.2 by default).
+    pub fn latency(mut self, l: LatencyConfig) -> Self {
+        self.cfg.latency = l;
+        self
+    }
+
+    /// Override the whole configuration bundle.
+    pub fn config(mut self, c: SimConfig) -> Self {
+        self.cfg = c;
+        self
+    }
+
+    /// Materialize the workload and prime the event queue.
+    pub fn build(self) -> DdcSimulation {
+        let workload = self.workload.materialize();
+        workload
+            .validate_fits(&self.cfg.topology)
+            .unwrap_or_else(|vm| {
+                panic!("VM {} exceeds single-box capacity (paper §2 assumption)", vm.id)
+            });
+        let mut world = DdcWorld::new(self.cfg, self.algorithm, workload);
+        if let Some(interval) = self.timeline_interval {
+            world.enable_timeline(interval);
+        }
+        if self.audit {
+            world.enable_audit();
+        }
+        let mut sim = Simulation::new(world);
+        for vm in sim.world().workload.vms().to_vec() {
+            sim.schedule(SimTime::from_units(vm.arrival), SimEvent::Arrival(vm.id.0));
+        }
+        DdcSimulation { sim }
+    }
+}
+
+impl Default for SimulationBuilder {
+    fn default() -> Self {
+        SimulationBuilder::new()
+    }
+}
+
+/// A primed simulation; [`DdcSimulation::run`] drives it to completion and
+/// summarizes.
+#[derive(Debug)]
+pub struct DdcSimulation {
+    sim: Simulation<DdcWorld>,
+}
+
+impl DdcSimulation {
+    /// Run every event and produce the run report.
+    pub fn run(&mut self) -> RunReport {
+        self.sim.run_to_completion();
+        debug_assert_eq!(self.sim.clamped_schedules(), 0);
+        self.sim.world_mut().flush_timeline();
+        self.sim.world_mut().finish_audit();
+        self.report()
+    }
+
+    /// Summarize current state (normally called after [`DdcSimulation::run`]).
+    pub fn report(&self) -> RunReport {
+        let w = self.sim.world();
+        let t_end = w.end_time;
+        let cap = |k: ResourceKind| w.cluster.total_capacity(k) as f64;
+        let util = |k: ResourceKind| {
+            if t_end > 0.0 && cap(k) > 0.0 {
+                w.util[k.index()].mean_to(t_end) / cap(k)
+            } else {
+                0.0
+            }
+        };
+        let mut us = [0.0; 3];
+        for k in ALL_RESOURCES {
+            us[k.index()] = util(k);
+        }
+        let intra_cap = w.net.intra_capacity_mbps() as f64;
+        let inter_cap = w.net.inter_capacity_mbps() as f64;
+        RunReport {
+            algorithm: w.algorithm(),
+            workload: w.workload.name().to_string(),
+            total_vms: w.workload.len() as u32,
+            admitted: w.counters.admitted,
+            dropped: w.counters.dropped_compute + w.counters.dropped_network,
+            dropped_compute: w.counters.dropped_compute,
+            dropped_network: w.counters.dropped_network,
+            inter_rack_assignments: w.counters.inter_rack,
+            fallback_assignments: w.counters.fallback,
+            cpu_utilization: us[0],
+            ram_utilization: us[1],
+            storage_utilization: us[2],
+            intra_net_utilization: if t_end > 0.0 {
+                w.intra_bw.mean_to(t_end) / intra_cap
+            } else {
+                0.0
+            },
+            inter_net_utilization: if t_end > 0.0 {
+                w.inter_bw.mean_to(t_end) / inter_cap
+            } else {
+                0.0
+            },
+            optical_energy_j: w.optical_energy_j,
+            optical_power_w: if t_end > 0.0 {
+                w.optical_energy_j / t_end
+            } else {
+                0.0
+            },
+            mean_cpu_ram_latency_ns: w.latency.mean(),
+            sched_seconds: w.sched_wall.as_secs_f64(),
+            work: *w.scheduler.work(),
+            sim_duration: t_end,
+        }
+    }
+
+    /// Access the world (e.g. for white-box assertions in tests).
+    pub fn world(&self) -> &DdcWorld {
+        self.sim.world()
+    }
+
+    /// The recorded time series, when enabled via
+    /// [`SimulationBuilder::record_timeline`].
+    pub fn timeline(&self) -> Option<&crate::timeline::Timeline> {
+        self.sim.world().timeline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_produces_consistent_report() {
+        let report = SimulationBuilder::new()
+            .algorithm(Algorithm::RisaBf)
+            .workload(WorkloadSpec::synthetic(120, 5))
+            .build()
+            .run();
+        assert_eq!(report.total_vms, 120);
+        assert_eq!(report.admitted + report.dropped, 120);
+        assert_eq!(report.dropped, 0);
+        assert_eq!(
+            report.dropped,
+            report.dropped_compute + report.dropped_network
+        );
+        assert!(report.sim_duration > 6300.0, "runs past the first lifetime");
+        assert!(report.cpu_utilization > 0.0 && report.cpu_utilization < 1.0);
+        assert!(report.optical_power_w > 0.0);
+        assert_eq!(report.mean_cpu_ram_latency_ns, 110.0);
+        assert_eq!(report.inter_rack_percent(), 0.0);
+    }
+
+    #[test]
+    fn reports_are_deterministic_modulo_wall_clock() {
+        let run = || {
+            let mut r = SimulationBuilder::new()
+                .algorithm(Algorithm::Nulb)
+                .workload(WorkloadSpec::synthetic(150, 77))
+                .build()
+                .run();
+            r.sched_seconds = 0.0; // the only wall-clock field
+            r
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn different_algorithms_share_workload() {
+        // Same seed ⇒ identical workload across algorithms, as the paper's
+        // comparisons require.
+        let a = SimulationBuilder::new()
+            .algorithm(Algorithm::Nulb)
+            .workload(WorkloadSpec::synthetic(60, 9))
+            .build()
+            .run();
+        let b = SimulationBuilder::new()
+            .algorithm(Algorithm::Risa)
+            .workload(WorkloadSpec::synthetic(60, 9))
+            .build()
+            .run();
+        assert_eq!(a.total_vms, b.total_vms);
+        assert_eq!(a.workload, b.workload);
+    }
+
+    #[test]
+    #[should_panic(expected = "single-box capacity")]
+    fn oversized_vm_rejected_at_build() {
+        use risa_workload::{VmId, VmRequest, Workload};
+        let vm = VmRequest {
+            id: VmId(0),
+            cpu_cores: 4096,
+            ram_gb: 4,
+            storage_gb: 128,
+            arrival: 1.0,
+            lifetime: 10.0,
+        };
+        SimulationBuilder::new()
+            .workload(WorkloadSpec::Trace(Workload::from_vms("bad", vec![vm])))
+            .build();
+    }
+}

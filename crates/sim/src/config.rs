@@ -1,0 +1,80 @@
+//! Simulation-level configuration: latency constants and the bundle of all
+//! subsystem configurations.
+
+use risa_network::NetworkConfig;
+use risa_photonics::PhotonicsConfig;
+use risa_topology::TopologyConfig;
+use serde::{Deserialize, Serialize};
+
+/// CPU-RAM round-trip latency constants (§5.2, from \[20\]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyConfig {
+    /// Round-trip within a rack, ns (paper: 110).
+    pub intra_rack_ns: f64,
+    /// Round-trip across racks, ns (paper: 330).
+    pub inter_rack_ns: f64,
+}
+
+impl LatencyConfig {
+    /// The paper's constants.
+    pub const fn paper() -> Self {
+        LatencyConfig {
+            intra_rack_ns: 110.0,
+            inter_rack_ns: 330.0,
+        }
+    }
+}
+
+impl Default for LatencyConfig {
+    fn default() -> Self {
+        LatencyConfig::paper()
+    }
+}
+
+/// Everything the simulation needs besides the workload and algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct SimConfig {
+    /// Cluster shape (Table 1).
+    pub topology: TopologyConfig,
+    /// Network shape (Table 2 and §3.1).
+    pub network: NetworkConfig,
+    /// Photonics constants (§3.2).
+    pub photonics: PhotonicsConfig,
+    /// Latency constants (§5.2).
+    pub latency: LatencyConfig,
+}
+
+impl SimConfig {
+    /// All-paper defaults.
+    pub fn paper() -> Self {
+        SimConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_latency_constants() {
+        let l = LatencyConfig::paper();
+        assert_eq!(l.intra_rack_ns, 110.0);
+        assert_eq!(l.inter_rack_ns, 330.0);
+    }
+
+    #[test]
+    fn default_bundle_is_paper() {
+        let c = SimConfig::paper();
+        assert_eq!(c.topology.racks, 18);
+        assert_eq!(c.network.link_mbps, 200_000);
+        assert_eq!(c.photonics.alpha, 0.9);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = SimConfig::paper();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: SimConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

@@ -1,0 +1,43 @@
+//! # risa-sim — end-to-end DDC simulation and the paper's experiments
+//!
+//! Drives the whole stack: a [`risa_des`] event loop delivers VM arrivals
+//! and departures; a [`risa_sched::Scheduler`] places each arrival onto the
+//! [`risa_topology::Cluster`] and [`risa_network::NetworkState`]; the
+//! [`risa_photonics`] energy model and [`risa_metrics`] accumulators turn
+//! the run into the numbers the paper reports.
+//!
+//! The [`experiments`] module has one entry point per figure/table of the
+//! paper's evaluation (see DESIGN.md §5 for the index).
+//!
+//! ```
+//! use risa_sim::{Algorithm, SimulationBuilder, WorkloadSpec};
+//!
+//! let report = SimulationBuilder::new()
+//!     .algorithm(Algorithm::Risa)
+//!     .workload(WorkloadSpec::synthetic(100, 7))
+//!     .build()
+//!     .run();
+//! assert_eq!(report.total_vms, 100);
+//! assert_eq!(report.dropped, 0);
+//! assert_eq!(report.inter_rack_assignments, 0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod builder;
+mod config;
+pub mod experiments;
+mod report;
+mod spec;
+mod timeline;
+mod world;
+
+pub use builder::{DdcSimulation, SimulationBuilder};
+pub use config::{LatencyConfig, SimConfig};
+pub use report::{host_info, ExperimentReport, RunReport};
+pub use spec::WorkloadSpec;
+pub use timeline::{Timeline, TimelinePoint};
+pub use world::{DdcWorld, SimEvent};
+
+// Re-export the vocabulary types callers need alongside the builder.
+pub use risa_sched::Algorithm;

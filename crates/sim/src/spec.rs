@@ -1,0 +1,82 @@
+//! Workload specification: how the simulation obtains its VM trace.
+
+use risa_workload::{AzureSubset, SyntheticConfig, Workload};
+use serde::{Deserialize, Serialize};
+
+/// Declarative description of the workload a simulation should run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadSpec {
+    /// The §5.1 synthetic random workload with explicit parameters.
+    Synthetic(SyntheticConfig),
+    /// An Azure-2017-like slice (§5.2) with a seed.
+    Azure {
+        /// Which slice.
+        subset: AzureSubset,
+        /// Generation seed.
+        seed: u64,
+    },
+    /// A pre-built trace (e.g. loaded from JSON).
+    Trace(Workload),
+}
+
+impl WorkloadSpec {
+    /// Synthetic workload of `n` VMs with paper parameters.
+    pub fn synthetic(n: u32, seed: u64) -> Self {
+        WorkloadSpec::Synthetic(SyntheticConfig::small(n, seed))
+    }
+
+    /// The full 2500-VM paper synthetic workload.
+    pub fn synthetic_paper(seed: u64) -> Self {
+        WorkloadSpec::Synthetic(SyntheticConfig::paper(seed))
+    }
+
+    /// An Azure-like slice.
+    pub fn azure(subset: AzureSubset, seed: u64) -> Self {
+        WorkloadSpec::Azure { subset, seed }
+    }
+
+    /// Materialize the trace.
+    pub fn materialize(&self) -> Workload {
+        match self {
+            WorkloadSpec::Synthetic(cfg) => Workload::synthetic(cfg),
+            WorkloadSpec::Azure { subset, seed } => Workload::azure(*subset, *seed),
+            WorkloadSpec::Trace(w) => w.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_materializes_n_vms() {
+        assert_eq!(WorkloadSpec::synthetic(37, 1).materialize().len(), 37);
+        assert_eq!(
+            WorkloadSpec::synthetic_paper(1).materialize().len(),
+            2500
+        );
+    }
+
+    #[test]
+    fn azure_materializes_subset() {
+        let w = WorkloadSpec::azure(AzureSubset::N3000, 2).materialize();
+        assert_eq!(w.len(), 3000);
+        assert_eq!(w.name(), "Azure-3000");
+    }
+
+    #[test]
+    fn trace_passthrough() {
+        let w = WorkloadSpec::synthetic(5, 3).materialize();
+        let spec = WorkloadSpec::Trace(w.clone());
+        assert_eq!(spec.materialize(), w);
+    }
+
+    #[test]
+    fn spec_serde_roundtrip() {
+        let spec = WorkloadSpec::azure(AzureSubset::N5000, 9);
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: WorkloadSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+}

@@ -1,0 +1,363 @@
+//! The simulated world: cluster + network + scheduler + metric streams,
+//! driven by VM arrival/departure events.
+
+use crate::config::SimConfig;
+use crate::timeline::{Timeline, TimelinePoint};
+use risa_des::{EventCtx, SimDuration, World};
+use risa_metrics::{OnlineStats, TimeWeighted};
+use risa_network::NetworkState;
+use risa_photonics::{EnergyModel, SwitchPath};
+use risa_sched::audit::ScheduleAuditor;
+use risa_sched::{Algorithm, DropReason, ScheduleOutcome, Scheduler, VmAssignment};
+use risa_topology::{Cluster, ResourceKind, ALL_RESOURCES};
+use risa_workload::Workload;
+use std::time::Duration;
+
+/// Events driving the DDC simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimEvent {
+    /// VM `idx` (index into the workload) arrives and must be scheduled.
+    Arrival(u32),
+    /// VM `idx` departs; its resources and bandwidth are released.
+    Departure(u32),
+}
+
+/// Raw per-run counters, exposed through [`crate::RunReport`].
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Counters {
+    pub admitted: u32,
+    pub dropped_compute: u32,
+    pub dropped_network: u32,
+    pub inter_rack: u32,
+    pub fallback: u32,
+}
+
+/// The [`World`] implementation: owns all mutable simulation state.
+#[derive(Debug)]
+pub struct DdcWorld {
+    pub(crate) cluster: Cluster,
+    pub(crate) net: NetworkState,
+    pub(crate) scheduler: Scheduler,
+    pub(crate) workload: Workload,
+    energy: EnergyModel,
+    cfg: SimConfig,
+    assignments: Vec<Option<VmAssignment>>,
+    pub(crate) counters: Counters,
+    /// Time-weighted used units per resource kind.
+    pub(crate) util: [TimeWeighted; 3],
+    /// Time-weighted used Mb/s on the intra- and inter-rack layers.
+    pub(crate) intra_bw: TimeWeighted,
+    pub(crate) inter_bw: TimeWeighted,
+    /// Per-admitted-VM CPU-RAM round-trip latency (ns).
+    pub(crate) latency: OnlineStats,
+    /// Total optical energy (switch trim/reconfig + transceivers), joules.
+    pub(crate) optical_energy_j: f64,
+    /// Wall-clock spent inside `Scheduler::schedule` (Figures 11/12).
+    pub(crate) sched_wall: Duration,
+    /// Latest event time seen, in paper units.
+    pub(crate) end_time: f64,
+    /// Currently resident VMs.
+    pub(crate) resident: u32,
+    /// Optional fixed-grid series recorder.
+    pub(crate) timeline: Option<Timeline>,
+    /// Optional independent auditor replaying every assignment against a
+    /// shadow ledger; violations fail the run loudly.
+    pub(crate) auditor: Option<(ScheduleAuditor, Vec<Option<u64>>)>,
+}
+
+impl DdcWorld {
+    /// Build a pristine world for `algorithm` over `workload`.
+    pub fn new(cfg: SimConfig, algorithm: Algorithm, workload: Workload) -> Self {
+        let cluster = Cluster::new(cfg.topology);
+        let net = NetworkState::new(cfg.network, &cluster);
+        let scheduler = Scheduler::new(algorithm, &cluster);
+        let energy = EnergyModel::new(cfg.photonics);
+        let n = workload.len();
+        DdcWorld {
+            cluster,
+            net,
+            scheduler,
+            workload,
+            energy,
+            cfg,
+            assignments: vec![None; n],
+            counters: Counters::default(),
+            util: [
+                TimeWeighted::new(0.0, 0.0),
+                TimeWeighted::new(0.0, 0.0),
+                TimeWeighted::new(0.0, 0.0),
+            ],
+            intra_bw: TimeWeighted::new(0.0, 0.0),
+            inter_bw: TimeWeighted::new(0.0, 0.0),
+            latency: OnlineStats::new(),
+            optical_energy_j: 0.0,
+            sched_wall: Duration::ZERO,
+            end_time: 0.0,
+            resident: 0,
+            timeline: None,
+            auditor: None,
+        }
+    }
+
+    /// Enable independent auditing of every assignment/release (shadow
+    /// ledger; see `risa_sched::audit`). The driver calls
+    /// `finish_audit` at end of run and panics on violations.
+    pub fn enable_audit(&mut self) {
+        let n = self.workload.len();
+        self.auditor = Some((ScheduleAuditor::new(&self.cluster), vec![None; n]));
+    }
+
+    /// Close the audit; panics with the violation list if the scheduler
+    /// and the shadow ledger ever disagreed.
+    pub(crate) fn finish_audit(&mut self) {
+        if let Some((auditor, _)) = self.auditor.take() {
+            if let Err(violations) = auditor.finish() {
+                panic!("schedule audit failed: {violations:?}");
+            }
+        }
+    }
+
+    /// Record a utilization/occupancy series with the given sampling
+    /// interval (paper time units).
+    pub fn enable_timeline(&mut self, interval: f64) {
+        self.timeline = Some(Timeline::new(interval));
+    }
+
+    /// The recorded series, if enabled.
+    pub fn timeline(&self) -> Option<&Timeline> {
+        self.timeline.as_ref()
+    }
+
+    /// Flush the current state into the timeline regardless of the grid
+    /// (called once by the driver when the event queue drains).
+    pub(crate) fn flush_timeline(&mut self) {
+        let t = self.end_time;
+        let cluster = &self.cluster;
+        let used = |k: ResourceKind| {
+            (cluster.total_capacity(k) - cluster.total_available(k)) as f64
+        };
+        let point = TimelinePoint {
+            t,
+            cpu_used: used(ResourceKind::Cpu),
+            ram_used: used(ResourceKind::Ram),
+            sto_used: used(ResourceKind::Storage),
+            intra_mbps: self.net.intra_used_mbps() as f64,
+            inter_mbps: self.net.inter_used_mbps() as f64,
+            resident_vms: self.resident,
+        };
+        if let Some(tl) = self.timeline.as_mut() {
+            tl.force(point);
+        }
+    }
+
+    /// The algorithm driving this world.
+    pub fn algorithm(&self) -> Algorithm {
+        self.scheduler.algorithm()
+    }
+
+    /// Assignment of VM `idx`, if admitted and still resident.
+    pub fn assignment(&self, idx: u32) -> Option<&VmAssignment> {
+        self.assignments[idx as usize].as_ref()
+    }
+
+    fn sample_state(&mut self, t: f64) {
+        for kind in ALL_RESOURCES {
+            let used = self.cluster.total_capacity(kind) - self.cluster.total_available(kind);
+            self.util[kind.index()].set(t, used as f64);
+        }
+        self.intra_bw.set(t, self.net.intra_used_mbps() as f64);
+        self.inter_bw.set(t, self.net.inter_used_mbps() as f64);
+        if let Some(tl) = self.timeline.as_mut() {
+            let used = |k: ResourceKind| {
+                (self.cluster.total_capacity(k) - self.cluster.total_available(k)) as f64
+            };
+            tl.offer(TimelinePoint {
+                t,
+                cpu_used: used(ResourceKind::Cpu),
+                ram_used: used(ResourceKind::Ram),
+                sto_used: used(ResourceKind::Storage),
+                intra_mbps: self.net.intra_used_mbps() as f64,
+                inter_mbps: self.net.inter_used_mbps() as f64,
+                resident_vms: self.resident,
+            });
+        }
+    }
+
+    /// Energy of one flow given whether it crossed racks (Eq. 1 + the
+    /// transceiver model), charged at admission for the known lifetime.
+    fn flow_energy(&self, inter: bool, mbps: u64, lifetime_s: f64) -> f64 {
+        let n = &self.cfg.network;
+        let path = if inter {
+            SwitchPath::inter_rack(
+                n.box_switch_ports,
+                n.rack_switch_ports,
+                n.inter_rack_switch_ports,
+            )
+        } else {
+            SwitchPath::intra_rack(n.box_switch_ports, n.rack_switch_ports)
+        };
+        self.energy.flow_total_energy_j(&path, mbps, lifetime_s)
+    }
+
+    fn on_arrival(&mut self, idx: u32, now: f64, ctx: &mut EventCtx<'_, SimEvent>) {
+        let vm = self.workload.vms()[idx as usize];
+        let demand = vm.demand(&self.cfg.topology);
+
+        let t0 = std::time::Instant::now();
+        let outcome = self
+            .scheduler
+            .schedule(&mut self.cluster, &mut self.net, &demand);
+        self.sched_wall += t0.elapsed();
+
+        match outcome {
+            ScheduleOutcome::Assigned(a) => {
+                self.counters.admitted += 1;
+                if !a.intra_rack {
+                    self.counters.inter_rack += 1;
+                }
+                if a.used_fallback {
+                    self.counters.fallback += 1;
+                }
+                // CPU-RAM round-trip latency (Figure 10): depends on
+                // whether CPU and RAM share a rack.
+                let cpu_rack = self
+                    .cluster
+                    .rack_of(a.placement.grant(ResourceKind::Cpu).box_id);
+                let ram_rack = self
+                    .cluster
+                    .rack_of(a.placement.grant(ResourceKind::Ram).box_id);
+                let lat = if cpu_rack == ram_rack {
+                    self.cfg.latency.intra_rack_ns
+                } else {
+                    self.cfg.latency.inter_rack_ns
+                };
+                self.latency.record(lat);
+                // Optical energy (Figure 9), 1 time unit ≡ 1 s.
+                let life_s = vm.lifetime;
+                self.optical_energy_j += self.flow_energy(
+                    a.network.cpu_ram.inter_rack,
+                    a.network.cpu_ram.mbps,
+                    life_s,
+                );
+                self.optical_energy_j += self.flow_energy(
+                    a.network.ram_sto.inter_rack,
+                    a.network.ram_sto.mbps,
+                    life_s,
+                );
+                if let Some((auditor, seqs)) = self.auditor.as_mut() {
+                    seqs[idx as usize] = Some(auditor.admit(&self.cluster, &a));
+                }
+                self.assignments[idx as usize] = Some(a);
+                self.resident += 1;
+                ctx.schedule_in(SimDuration::from_units(vm.lifetime), SimEvent::Departure(idx));
+            }
+            ScheduleOutcome::Dropped(DropReason::Compute) => {
+                self.counters.dropped_compute += 1;
+            }
+            ScheduleOutcome::Dropped(DropReason::Network) => {
+                self.counters.dropped_network += 1;
+            }
+        }
+        self.sample_state(now);
+    }
+
+    fn on_departure(&mut self, idx: u32, now: f64) {
+        let a = self.assignments[idx as usize]
+            .take()
+            .expect("departure of a VM that was never admitted");
+        Scheduler::release(&mut self.cluster, &mut self.net, &a);
+        if let Some((auditor, seqs)) = self.auditor.as_mut() {
+            let seq = seqs[idx as usize].take().expect("audited VM has a seq");
+            auditor.release(seq);
+        }
+        self.resident -= 1;
+        self.sample_state(now);
+    }
+}
+
+impl World for DdcWorld {
+    type Event = SimEvent;
+
+    fn handle(&mut self, ctx: &mut EventCtx<'_, SimEvent>, event: SimEvent) {
+        let now = ctx.now().as_units();
+        self.end_time = self.end_time.max(now);
+        match event {
+            SimEvent::Arrival(idx) => self.on_arrival(idx, now, ctx),
+            SimEvent::Departure(idx) => self.on_departure(idx, now),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use risa_des::{SimTime, Simulation};
+    use risa_workload::SyntheticConfig;
+
+    fn run_world(algo: Algorithm, n: u32, seed: u64) -> DdcWorld {
+        let workload = Workload::synthetic(&SyntheticConfig::small(n, seed));
+        let mut sim = Simulation::new(DdcWorld::new(SimConfig::paper(), algo, workload));
+        for vm in sim.world().workload.vms().to_vec() {
+            sim.schedule(SimTime::from_units(vm.arrival), SimEvent::Arrival(vm.id.0));
+        }
+        sim.run_to_completion();
+        sim.into_world()
+    }
+
+    #[test]
+    fn small_run_admits_everything_and_releases() {
+        let w = run_world(Algorithm::Risa, 50, 3);
+        assert_eq!(w.counters.admitted, 50);
+        assert_eq!(w.counters.dropped_compute + w.counters.dropped_network, 0);
+        // Everything departed: cluster and network back to pristine.
+        assert_eq!(w.cluster.total_available(ResourceKind::Cpu), 4608);
+        assert_eq!(w.net.intra_used_mbps(), 0);
+        assert_eq!(w.net.inter_used_mbps(), 0);
+        assert!(w.assignments.iter().all(Option::is_none));
+        w.cluster.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn latency_recorded_per_admitted_vm() {
+        let w = run_world(Algorithm::RisaBf, 40, 5);
+        assert_eq!(w.latency.count(), 40);
+        // RISA-BF on an underloaded cluster: all intra-rack, all 110 ns.
+        assert_eq!(w.latency.mean(), 110.0);
+        assert_eq!(w.counters.inter_rack, 0);
+    }
+
+    #[test]
+    fn energy_accumulates_only_for_admitted() {
+        let w = run_world(Algorithm::Nulb, 30, 7);
+        assert!(w.optical_energy_j > 0.0);
+        // 30 VMs × 2 flows × (37 cells × 0.9 × 22.67 mW × ~6300 s) ≈ 280 kJ.
+        assert!(w.optical_energy_j > 1e4);
+        assert!(w.optical_energy_j < 1e7);
+    }
+
+    #[test]
+    fn utilization_signal_rises_then_falls() {
+        let w = run_world(Algorithm::Risa, 60, 9);
+        let cpu = &w.util[ResourceKind::Cpu.index()];
+        assert!(cpu.peak() > 0.0);
+        assert_eq!(cpu.current(), 0.0, "all VMs departed");
+        let mean = cpu.mean_to(w.end_time);
+        assert!(mean > 0.0 && mean < cpu.peak());
+    }
+
+    #[test]
+    fn deterministic_counters_across_reruns() {
+        let a = run_world(Algorithm::Nalb, 80, 13);
+        let b = run_world(Algorithm::Nalb, 80, 13);
+        assert_eq!(a.counters.admitted, b.counters.admitted);
+        assert_eq!(a.counters.inter_rack, b.counters.inter_rack);
+        assert_eq!(a.optical_energy_j, b.optical_energy_j);
+        assert_eq!(a.latency.mean(), b.latency.mean());
+    }
+
+    #[test]
+    fn scheduler_wall_clock_is_measured() {
+        let w = run_world(Algorithm::Nalb, 50, 1);
+        assert!(w.sched_wall > Duration::ZERO);
+    }
+}

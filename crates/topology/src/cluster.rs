@@ -1,0 +1,587 @@
+//! Mutable cluster state: unit-granular box accounting plus the per-rack
+//! max-available tables that make RISA's `INTRA_RACK_POOL` cheap to build.
+
+use crate::config::TopologyConfig;
+use crate::resources::{BoxId, RackId, ResourceKind, UnitDemand, ALL_RESOURCES};
+use serde::{Deserialize, Serialize};
+
+/// Why an allocation or release was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AllocError {
+    /// The box does not have `requested` free units (`available` is what it
+    /// had at the time).
+    Insufficient {
+        /// Units asked for.
+        requested: u32,
+        /// Units actually free.
+        available: u32,
+    },
+    /// A release would push a box above its capacity — always a caller bug.
+    OverRelease {
+        /// Units being returned.
+        returned: u32,
+        /// Units currently free.
+        available: u32,
+        /// Box capacity.
+        capacity: u32,
+    },
+    /// The box id is out of range for this cluster.
+    NoSuchBox,
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::Insufficient {
+                requested,
+                available,
+            } => write!(f, "requested {requested}u but only {available}u free"),
+            AllocError::OverRelease {
+                returned,
+                available,
+                capacity,
+            } => write!(
+                f,
+                "release of {returned}u would exceed capacity ({available}u free of {capacity}u)"
+            ),
+            AllocError::NoSuchBox => write!(f, "no such box"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// State of one single-resource box.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BoxState {
+    /// Global box id (index into the cluster's box table).
+    pub id: BoxId,
+    /// Rack this box lives in.
+    pub rack: RackId,
+    /// The single resource kind this box provides.
+    pub kind: ResourceKind,
+    /// Capacity in units.
+    pub capacity: u32,
+    /// Currently free units.
+    pub available: u32,
+}
+
+impl BoxState {
+    /// Units currently allocated.
+    pub fn used(&self) -> u32 {
+        self.capacity - self.available
+    }
+}
+
+/// One box-level grant: `units` taken from `box_id`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BoxAllocation {
+    /// The granting box.
+    pub box_id: BoxId,
+    /// Units granted.
+    pub units: u32,
+}
+
+/// A complete compute placement for one VM: one box per resource kind
+/// (the paper guarantees VM demands fit within a single box, §2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VmPlacement {
+    /// Grants in canonical kind order (CPU, RAM, storage).
+    pub grants: [BoxAllocation; 3],
+}
+
+impl VmPlacement {
+    /// Grant for `kind`.
+    pub fn grant(&self, kind: ResourceKind) -> BoxAllocation {
+        self.grants[kind.index()]
+    }
+
+    /// Racks touched by this placement, deduplicated, in kind order.
+    pub fn racks(&self, cluster: &Cluster) -> Vec<RackId> {
+        let mut racks: Vec<RackId> = self
+            .grants
+            .iter()
+            .map(|g| cluster.rack_of(g.box_id))
+            .collect();
+        racks.dedup();
+        racks.sort_unstable();
+        racks.dedup();
+        racks
+    }
+
+    /// True when all three grants sit in the same rack — the property RISA
+    /// maximizes (an "intra-rack VM assignment" in Figures 5 and 7).
+    pub fn is_intra_rack(&self, cluster: &Cluster) -> bool {
+        let r0 = cluster.rack_of(self.grants[0].box_id);
+        self.grants[1..]
+            .iter()
+            .all(|g| cluster.rack_of(g.box_id) == r0)
+    }
+}
+
+/// The whole disaggregated cluster: box table, per-rack indexes, cached
+/// per-rack maxima and cluster-wide totals.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cluster {
+    cfg: TopologyConfig,
+    boxes: Vec<BoxState>,
+    /// Per rack, per kind: the global ids of that rack's boxes, ascending.
+    rack_boxes: Vec<[Vec<BoxId>; 3]>,
+    /// Per rack, per kind: the largest `available` among the rack's boxes.
+    /// This is the table RISA consults to build `INTRA_RACK_POOL` in O(racks).
+    rack_max: Vec<[u32; 3]>,
+    totals_avail: [u64; 3],
+    totals_cap: [u64; 3],
+}
+
+impl Cluster {
+    /// Build a pristine uniform cluster from a validated configuration.
+    ///
+    /// Box ids are assigned rack-major and, within a rack, in CPU → RAM →
+    /// storage order; NULB's "first box" scan follows this order.
+    pub fn new(cfg: TopologyConfig) -> Self {
+        cfg.validate().expect("invalid topology configuration");
+        let cap = cfg.box_capacity_units();
+        let mut boxes = Vec::with_capacity(cfg.total_boxes() as usize);
+        let mut rack_boxes = Vec::with_capacity(cfg.racks as usize);
+        for rack in 0..cfg.racks {
+            let mut per_kind: [Vec<BoxId>; 3] = Default::default();
+            for kind in ALL_RESOURCES {
+                for _ in 0..cfg.box_mix.of(kind) {
+                    let id = BoxId(boxes.len() as u32);
+                    boxes.push(BoxState {
+                        id,
+                        rack: RackId(rack),
+                        kind,
+                        capacity: cap,
+                        available: cap,
+                    });
+                    per_kind[kind.index()].push(id);
+                }
+            }
+            rack_boxes.push(per_kind);
+        }
+        let rack_max = vec![[cap; 3]; cfg.racks as usize];
+        let mut totals_cap = [0u64; 3];
+        for b in &boxes {
+            totals_cap[b.kind.index()] += b.capacity as u64;
+        }
+        Cluster {
+            cfg,
+            boxes,
+            rack_boxes,
+            rack_max,
+            totals_avail: totals_cap,
+            totals_cap,
+        }
+    }
+
+    /// The configuration this cluster was built from.
+    pub fn config(&self) -> &TopologyConfig {
+        &self.cfg
+    }
+
+    /// Number of racks.
+    pub fn num_racks(&self) -> u16 {
+        self.cfg.racks
+    }
+
+    /// Number of boxes.
+    pub fn num_boxes(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// State of one box.
+    pub fn box_state(&self, id: BoxId) -> &BoxState {
+        &self.boxes[id.0 as usize]
+    }
+
+    /// Rack of a box.
+    #[inline]
+    pub fn rack_of(&self, id: BoxId) -> RackId {
+        self.boxes[id.0 as usize].rack
+    }
+
+    /// Resource kind of a box.
+    #[inline]
+    pub fn kind_of(&self, id: BoxId) -> ResourceKind {
+        self.boxes[id.0 as usize].kind
+    }
+
+    /// Free units in a box.
+    #[inline]
+    pub fn available(&self, id: BoxId) -> u32 {
+        self.boxes[id.0 as usize].available
+    }
+
+    /// All boxes in global id order.
+    pub fn boxes(&self) -> impl Iterator<Item = &BoxState> {
+        self.boxes.iter()
+    }
+
+    /// All boxes of `kind`, in global id order (NULB's scan order).
+    pub fn boxes_of_kind(&self, kind: ResourceKind) -> impl Iterator<Item = &BoxState> {
+        self.boxes.iter().filter(move |b| b.kind == kind)
+    }
+
+    /// Box ids of `kind` within `rack`, ascending.
+    pub fn boxes_in_rack(&self, rack: RackId, kind: ResourceKind) -> &[BoxId] {
+        &self.rack_boxes[rack.0 as usize][kind.index()]
+    }
+
+    /// Largest free-unit count among `rack`'s boxes of `kind` — RISA's
+    /// per-rack max-available table (§4.2: "RISA keeps track of the boxes
+    /// with the maximum amount of each resource for each rack").
+    #[inline]
+    pub fn rack_max_available(&self, rack: RackId, kind: ResourceKind) -> u32 {
+        self.rack_max[rack.0 as usize][kind.index()]
+    }
+
+    /// True when every per-kind demand fits in *some single box* of `rack`.
+    pub fn rack_fits(&self, rack: RackId, demand: &UnitDemand) -> bool {
+        ALL_RESOURCES
+            .iter()
+            .all(|&k| demand.get(k) <= self.rack_max_available(rack, k))
+    }
+
+    /// Cluster-wide free units of `kind`.
+    pub fn total_available(&self, kind: ResourceKind) -> u64 {
+        self.totals_avail[kind.index()]
+    }
+
+    /// Cluster-wide capacity of `kind`, in units.
+    pub fn total_capacity(&self, kind: ResourceKind) -> u64 {
+        self.totals_cap[kind.index()]
+    }
+
+    /// Fraction of `kind` currently allocated, in `[0, 1]`.
+    pub fn utilization(&self, kind: ResourceKind) -> f64 {
+        let cap = self.totals_cap[kind.index()];
+        if cap == 0 {
+            0.0
+        } else {
+            1.0 - self.totals_avail[kind.index()] as f64 / cap as f64
+        }
+    }
+
+    fn refresh_rack_max(&mut self, rack: RackId, kind: ResourceKind) {
+        let max = self.rack_boxes[rack.0 as usize][kind.index()]
+            .iter()
+            .map(|&b| self.boxes[b.0 as usize].available)
+            .max()
+            .unwrap_or(0);
+        self.rack_max[rack.0 as usize][kind.index()] = max;
+    }
+
+    /// Take `units` from `box_id`. O(boxes-per-rack) due to the cached
+    /// max-table refresh.
+    pub fn take(&mut self, box_id: BoxId, units: u32) -> Result<(), AllocError> {
+        let b = self
+            .boxes
+            .get_mut(box_id.0 as usize)
+            .ok_or(AllocError::NoSuchBox)?;
+        if units > b.available {
+            return Err(AllocError::Insufficient {
+                requested: units,
+                available: b.available,
+            });
+        }
+        b.available -= units;
+        let (rack, kind) = (b.rack, b.kind);
+        self.totals_avail[kind.index()] -= units as u64;
+        self.refresh_rack_max(rack, kind);
+        Ok(())
+    }
+
+    /// Return `units` to `box_id`.
+    pub fn give(&mut self, box_id: BoxId, units: u32) -> Result<(), AllocError> {
+        let b = self
+            .boxes
+            .get_mut(box_id.0 as usize)
+            .ok_or(AllocError::NoSuchBox)?;
+        if b.available + units > b.capacity {
+            return Err(AllocError::OverRelease {
+                returned: units,
+                available: b.available,
+                capacity: b.capacity,
+            });
+        }
+        b.available += units;
+        let (rack, kind) = (b.rack, b.kind);
+        self.totals_avail[kind.index()] += units as u64;
+        self.refresh_rack_max(rack, kind);
+        Ok(())
+    }
+
+    /// Atomically take all three grants of `placement`; on any failure the
+    /// earlier grants are rolled back and the cluster is unchanged.
+    pub fn take_placement(&mut self, placement: &VmPlacement) -> Result<(), AllocError> {
+        for i in 0..3 {
+            let g = placement.grants[i];
+            if let Err(e) = self.take(g.box_id, g.units) {
+                for g in &placement.grants[..i] {
+                    self.give(g.box_id, g.units)
+                        .expect("rollback of a grant we just took cannot fail");
+                }
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Release all three grants of `placement`.
+    pub fn give_placement(&mut self, placement: &VmPlacement) -> Result<(), AllocError> {
+        for g in &placement.grants {
+            self.give(g.box_id, g.units)?;
+        }
+        Ok(())
+    }
+
+    /// Fixture hook: override one box's capacity, resetting it to fully
+    /// free. Used to build the paper's Table 3 toy state and ablations.
+    pub fn set_box_capacity(&mut self, box_id: BoxId, capacity_units: u32) {
+        let b = &mut self.boxes[box_id.0 as usize];
+        let (rack, kind) = (b.rack, b.kind);
+        self.totals_cap[kind.index()] -= b.capacity as u64;
+        self.totals_avail[kind.index()] -= b.available as u64;
+        b.capacity = capacity_units;
+        b.available = capacity_units;
+        self.totals_cap[kind.index()] += capacity_units as u64;
+        self.totals_avail[kind.index()] += capacity_units as u64;
+        self.refresh_rack_max(rack, kind);
+    }
+
+    /// Fixture hook: force one box's free units (≤ capacity). Used to load
+    /// the exact availability column of the paper's Table 3.
+    pub fn force_available(&mut self, box_id: BoxId, available_units: u32) {
+        let b = &mut self.boxes[box_id.0 as usize];
+        assert!(
+            available_units <= b.capacity,
+            "availability above capacity"
+        );
+        let (rack, kind) = (b.rack, b.kind);
+        self.totals_avail[kind.index()] -= b.available as u64;
+        b.available = available_units;
+        self.totals_avail[kind.index()] += available_units as u64;
+        self.refresh_rack_max(rack, kind);
+    }
+
+    /// Debug invariant check: cached tables agree with the box table.
+    /// Cheap enough for tests; not called on hot paths.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut avail = [0u64; 3];
+        let mut cap = [0u64; 3];
+        for b in &self.boxes {
+            if b.available > b.capacity {
+                return Err(format!("{}: available exceeds capacity", b.id));
+            }
+            avail[b.kind.index()] += b.available as u64;
+            cap[b.kind.index()] += b.capacity as u64;
+        }
+        if avail != self.totals_avail {
+            return Err(format!(
+                "total-available cache stale: {:?} vs {:?}",
+                self.totals_avail, avail
+            ));
+        }
+        if cap != self.totals_cap {
+            return Err("total-capacity cache stale".into());
+        }
+        for rack in 0..self.cfg.racks {
+            for kind in ALL_RESOURCES {
+                let expect = self.rack_boxes[rack as usize][kind.index()]
+                    .iter()
+                    .map(|&b| self.boxes[b.0 as usize].available)
+                    .max()
+                    .unwrap_or(0);
+                if self.rack_max[rack as usize][kind.index()] != expect {
+                    return Err(format!("rack_max stale for rack{rack}/{kind}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_cluster() -> Cluster {
+        Cluster::new(TopologyConfig::paper())
+    }
+
+    #[test]
+    fn construction_matches_table1() {
+        let c = paper_cluster();
+        assert_eq!(c.num_boxes(), 108);
+        assert_eq!(c.num_racks(), 18);
+        assert_eq!(c.total_capacity(ResourceKind::Cpu), 4608);
+        assert_eq!(c.total_available(ResourceKind::Cpu), 4608);
+        assert_eq!(c.utilization(ResourceKind::Cpu), 0.0);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn box_id_order_is_rack_major_kind_minor() {
+        let c = paper_cluster();
+        // Rack 0: boxes 0..6 = [CPU, CPU, RAM, RAM, STO, STO].
+        assert_eq!(c.kind_of(BoxId(0)), ResourceKind::Cpu);
+        assert_eq!(c.kind_of(BoxId(1)), ResourceKind::Cpu);
+        assert_eq!(c.kind_of(BoxId(2)), ResourceKind::Ram);
+        assert_eq!(c.kind_of(BoxId(3)), ResourceKind::Ram);
+        assert_eq!(c.kind_of(BoxId(4)), ResourceKind::Storage);
+        assert_eq!(c.kind_of(BoxId(5)), ResourceKind::Storage);
+        assert_eq!(c.rack_of(BoxId(5)), RackId(0));
+        assert_eq!(c.rack_of(BoxId(6)), RackId(1));
+        // boxes_in_rack returns ascending ids.
+        assert_eq!(
+            c.boxes_in_rack(RackId(1), ResourceKind::Ram),
+            &[BoxId(8), BoxId(9)]
+        );
+    }
+
+    #[test]
+    fn take_and_give_roundtrip() {
+        let mut c = paper_cluster();
+        c.take(BoxId(0), 100).unwrap();
+        assert_eq!(c.available(BoxId(0)), 28);
+        assert_eq!(c.total_available(ResourceKind::Cpu), 4508);
+        assert_eq!(c.rack_max_available(RackId(0), ResourceKind::Cpu), 128);
+        c.take(BoxId(1), 120).unwrap();
+        assert_eq!(c.rack_max_available(RackId(0), ResourceKind::Cpu), 28);
+        c.give(BoxId(0), 100).unwrap();
+        c.give(BoxId(1), 120).unwrap();
+        assert_eq!(c.total_available(ResourceKind::Cpu), 4608);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn take_refuses_oversubscription() {
+        let mut c = paper_cluster();
+        let err = c.take(BoxId(0), 129).unwrap_err();
+        assert_eq!(
+            err,
+            AllocError::Insufficient {
+                requested: 129,
+                available: 128
+            }
+        );
+        // Nothing changed.
+        assert_eq!(c.available(BoxId(0)), 128);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn give_refuses_over_release() {
+        let mut c = paper_cluster();
+        c.take(BoxId(0), 10).unwrap();
+        let err = c.give(BoxId(0), 11).unwrap_err();
+        assert!(matches!(err, AllocError::OverRelease { .. }));
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn no_such_box() {
+        let mut c = paper_cluster();
+        assert_eq!(c.take(BoxId(9999), 1).unwrap_err(), AllocError::NoSuchBox);
+    }
+
+    #[test]
+    fn placement_is_atomic_with_rollback() {
+        let mut c = paper_cluster();
+        // Make the storage grant impossible.
+        c.force_available(BoxId(4), 0);
+        c.force_available(BoxId(5), 0);
+        let p = VmPlacement {
+            grants: [
+                BoxAllocation {
+                    box_id: BoxId(0),
+                    units: 2,
+                },
+                BoxAllocation {
+                    box_id: BoxId(2),
+                    units: 4,
+                },
+                BoxAllocation {
+                    box_id: BoxId(4),
+                    units: 2,
+                },
+            ],
+        };
+        assert!(c.take_placement(&p).is_err());
+        // CPU and RAM grants rolled back.
+        assert_eq!(c.available(BoxId(0)), 128);
+        assert_eq!(c.available(BoxId(2)), 128);
+        c.check_invariants().unwrap();
+
+        // Restore storage and the same placement succeeds, then releases.
+        c.force_available(BoxId(4), 8);
+        c.take_placement(&p).unwrap();
+        assert_eq!(c.available(BoxId(4)), 6);
+        assert!(p.is_intra_rack(&c));
+        c.give_placement(&p).unwrap();
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn rack_fits_uses_single_box_maxima() {
+        let mut c = paper_cluster();
+        // Split CPU so no single rack-0 box has 100 free, though the rack
+        // has 156 free in total: rack_fits must say no.
+        c.take(BoxId(0), 50).unwrap();
+        c.take(BoxId(1), 50).unwrap();
+        let d = UnitDemand::new(100, 1, 1);
+        assert!(!c.rack_fits(RackId(0), &d));
+        assert!(c.rack_fits(RackId(1), &d));
+        let d_ok = UnitDemand::new(78, 1, 1);
+        assert!(c.rack_fits(RackId(0), &d_ok));
+    }
+
+    #[test]
+    fn inter_rack_placement_detected() {
+        let c = paper_cluster();
+        let p = VmPlacement {
+            grants: [
+                BoxAllocation {
+                    box_id: BoxId(0),
+                    units: 1,
+                }, // rack 0
+                BoxAllocation {
+                    box_id: BoxId(8),
+                    units: 1,
+                }, // rack 1
+                BoxAllocation {
+                    box_id: BoxId(4),
+                    units: 1,
+                }, // rack 0
+            ],
+        };
+        assert!(!p.is_intra_rack(&c));
+        assert_eq!(p.racks(&c), vec![RackId(0), RackId(1)]);
+    }
+
+    #[test]
+    fn fixture_hooks_update_all_caches() {
+        let mut c = paper_cluster();
+        c.set_box_capacity(BoxId(4), 8); // paper Table 3 storage box: 512 GB
+        assert_eq!(c.box_state(BoxId(4)).capacity, 8);
+        assert_eq!(
+            c.total_capacity(ResourceKind::Storage),
+            4608 - 128 + 8
+        );
+        c.force_available(BoxId(4), 0);
+        assert_eq!(c.rack_max_available(RackId(0), ResourceKind::Storage), 128);
+        c.force_available(BoxId(5), 3);
+        assert_eq!(c.rack_max_available(RackId(0), ResourceKind::Storage), 3);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn utilization_tracks_allocations() {
+        let mut c = paper_cluster();
+        c.take(BoxId(0), 128).unwrap();
+        let u = c.utilization(ResourceKind::Cpu);
+        assert!((u - 128.0 / 4608.0).abs() < 1e-12);
+    }
+}

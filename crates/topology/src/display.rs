@@ -1,0 +1,146 @@
+//! Human-readable cluster state rendering: a per-rack occupancy map and
+//! per-rack summaries, for debugging schedulers and for the CLI.
+
+use crate::cluster::Cluster;
+use crate::resources::{RackId, ResourceKind, ALL_RESOURCES};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Per-rack utilization summary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RackSummary {
+    /// The rack.
+    pub rack: RackId,
+    /// Used fraction of each resource kind (CPU, RAM, storage order).
+    pub used_fraction: [f64; 3],
+    /// Largest single-box availability per kind, in units (the quantity
+    /// RISA's pool construction reads).
+    pub max_available: [u32; 3],
+}
+
+/// Summarize every rack.
+pub fn rack_summaries(cluster: &Cluster) -> Vec<RackSummary> {
+    (0..cluster.num_racks())
+        .map(RackId)
+        .map(|rack| {
+            let mut used_fraction = [0.0; 3];
+            let mut max_available = [0u32; 3];
+            for kind in ALL_RESOURCES {
+                let boxes = cluster.boxes_in_rack(rack, kind);
+                let cap: u64 = boxes
+                    .iter()
+                    .map(|&b| cluster.box_state(b).capacity as u64)
+                    .sum();
+                let avail: u64 = boxes.iter().map(|&b| cluster.available(b) as u64).sum();
+                used_fraction[kind.index()] = if cap == 0 {
+                    0.0
+                } else {
+                    1.0 - avail as f64 / cap as f64
+                };
+                max_available[kind.index()] = cluster.rack_max_available(rack, kind);
+            }
+            RackSummary {
+                rack,
+                used_fraction,
+                max_available,
+            }
+        })
+        .collect()
+}
+
+/// Character for a utilization level: `.` empty → `#` full (tenths).
+fn gauge(frac: f64) -> char {
+    match (frac * 10.0) as u32 {
+        0 => '.',
+        1..=2 => ':',
+        3..=5 => '+',
+        6..=8 => '*',
+        _ => '#',
+    }
+}
+
+/// Render a one-line-per-rack occupancy map:
+///
+/// ```text
+/// rack  0  CPU [*] 64%  RAM [+] 41%  STO [:] 18%   max-avail 12/33/102
+/// ```
+pub fn occupancy_map(cluster: &Cluster) -> String {
+    let mut out = String::new();
+    for s in rack_summaries(cluster) {
+        let _ = write!(out, "rack {:>2} ", s.rack.0);
+        for kind in ALL_RESOURCES {
+            let f = s.used_fraction[kind.index()];
+            let _ = write!(out, " {} [{}] {:>3.0}% ", kind.label(), gauge(f), f * 100.0);
+        }
+        let _ = writeln!(
+            out,
+            "  max-avail {}/{}/{}u",
+            s.max_available[0], s.max_available[1], s.max_available[2]
+        );
+    }
+    out
+}
+
+/// The imbalance of `kind` across racks: max used-fraction minus min.
+/// 0 = perfectly even (what RISA's round-robin drives toward).
+pub fn rack_imbalance(cluster: &Cluster, kind: ResourceKind) -> f64 {
+    let sums = rack_summaries(cluster);
+    let fr = |s: &RackSummary| s.used_fraction[kind.index()];
+    let max = sums.iter().map(fr).fold(f64::NEG_INFINITY, f64::max);
+    let min = sums.iter().map(fr).fold(f64::INFINITY, f64::min);
+    if sums.is_empty() {
+        0.0
+    } else {
+        max - min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TopologyConfig;
+    use crate::resources::BoxId;
+
+    #[test]
+    fn pristine_cluster_summaries() {
+        let c = Cluster::new(TopologyConfig::paper());
+        let sums = rack_summaries(&c);
+        assert_eq!(sums.len(), 18);
+        for s in &sums {
+            assert_eq!(s.used_fraction, [0.0; 3]);
+            assert_eq!(s.max_available, [128; 3]);
+        }
+        assert_eq!(rack_imbalance(&c, ResourceKind::Cpu), 0.0);
+    }
+
+    #[test]
+    fn occupancy_map_reflects_allocations() {
+        let mut c = Cluster::new(TopologyConfig::paper());
+        c.take(BoxId(0), 128).unwrap(); // rack 0 CPU box 0 full
+        c.take(BoxId(1), 64).unwrap(); // rack 0 CPU box 1 half
+        let map = occupancy_map(&c);
+        let rack0 = map.lines().next().unwrap();
+        assert!(rack0.contains("CPU [*]  75%"), "line: {rack0}");
+        assert_eq!(map.lines().count(), 18);
+        // Imbalance: rack 0 at 75 % CPU, everyone else 0.
+        assert!((rack_imbalance(&c, ResourceKind::Cpu) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gauge_levels() {
+        assert_eq!(gauge(0.0), '.');
+        assert_eq!(gauge(0.15), ':');
+        assert_eq!(gauge(0.45), '+');
+        assert_eq!(gauge(0.7), '*');
+        assert_eq!(gauge(1.0), '#');
+    }
+
+    #[test]
+    fn max_available_tracks_fixture_overrides() {
+        let mut c = Cluster::new(TopologyConfig::paper());
+        c.force_available(BoxId(4), 3);
+        c.force_available(BoxId(5), 7);
+        let s = &rack_summaries(&c)[0];
+        assert_eq!(s.max_available[ResourceKind::Storage.index()], 7);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests for the cluster resource ledger: allocation and release
+//! are exact inverses, caches never go stale, and capacity is never
+//! exceeded, under arbitrary interleavings of operations.
+
+use proptest::prelude::*;
+use risa_topology::{AllocError, BoxId, Cluster, ResourceKind, TopologyConfig};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Take { box_idx: u8, units: u32 },
+    Give { box_idx: u8, units: u32 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..108, 0u32..200).prop_map(|(box_idx, units)| Op::Take { box_idx, units }),
+        (0u8..108, 0u32..200).prop_map(|(box_idx, units)| Op::Give { box_idx, units }),
+    ]
+}
+
+proptest! {
+    /// Fuzz the ledger with random takes/gives; after every op the cluster
+    /// invariants hold, and failed ops leave the state untouched.
+    #[test]
+    fn ledger_invariants_under_random_ops(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let mut c = Cluster::new(TopologyConfig::paper());
+        for op in ops {
+            let before_cpu = c.total_available(ResourceKind::Cpu);
+            match op {
+                Op::Take { box_idx, units } => {
+                    let id = BoxId(box_idx as u32);
+                    let avail = c.available(id);
+                    match c.take(id, units) {
+                        Ok(()) => prop_assert!(units <= avail),
+                        Err(AllocError::Insufficient { .. }) => {
+                            prop_assert!(units > avail);
+                            prop_assert_eq!(c.available(id), avail, "failed take mutated state");
+                            if c.kind_of(id) == ResourceKind::Cpu {
+                                prop_assert_eq!(c.total_available(ResourceKind::Cpu), before_cpu);
+                            }
+                        }
+                        Err(e) => return Err(TestCaseError::fail(format!("unexpected error {e:?}"))),
+                    }
+                }
+                Op::Give { box_idx, units } => {
+                    let id = BoxId(box_idx as u32);
+                    let avail = c.available(id);
+                    let cap = c.box_state(id).capacity;
+                    match c.give(id, units) {
+                        Ok(()) => prop_assert!(avail + units <= cap),
+                        Err(AllocError::OverRelease { .. }) => {
+                            prop_assert!(avail + units > cap);
+                            prop_assert_eq!(c.available(id), avail, "failed give mutated state");
+                        }
+                        Err(e) => return Err(TestCaseError::fail(format!("unexpected error {e:?}"))),
+                    }
+                }
+            }
+            c.check_invariants().map_err(TestCaseError::fail)?;
+        }
+    }
+
+    /// take(x); give(x) restores the exact prior state for any valid x.
+    #[test]
+    fn take_give_is_identity(box_idx in 0u8..108, units in 0u32..=128) {
+        let mut c = Cluster::new(TopologyConfig::paper());
+        let id = BoxId(box_idx as u32);
+        let kind = c.kind_of(id);
+        let before_avail = c.available(id);
+        let before_total = c.total_available(kind);
+        let before_rack = c.rack_max_available(c.rack_of(id), kind);
+
+        c.take(id, units).unwrap();
+        c.give(id, units).unwrap();
+
+        prop_assert_eq!(c.available(id), before_avail);
+        prop_assert_eq!(c.total_available(kind), before_total);
+        prop_assert_eq!(c.rack_max_available(c.rack_of(id), kind), before_rack);
+        c.check_invariants().map_err(TestCaseError::fail)?;
+    }
+
+    /// rack_fits agrees with a brute-force scan of the rack's boxes.
+    #[test]
+    fn rack_fits_matches_bruteforce(
+        takes in prop::collection::vec((0u8..108, 0u32..=128), 0..50),
+        cpu in 0u32..=130, ram in 0u32..=130, sto in 0u32..=130,
+    ) {
+        let mut c = Cluster::new(TopologyConfig::paper());
+        for (b, u) in takes {
+            let _ = c.take(BoxId(b as u32), u);
+        }
+        let demand = risa_topology::UnitDemand::new(cpu, ram, sto);
+        for rack in 0..c.num_racks() {
+            let rack = risa_topology::RackId(rack);
+            let brute = [ResourceKind::Cpu, ResourceKind::Ram, ResourceKind::Storage]
+                .iter()
+                .all(|&k| {
+                    c.boxes_in_rack(rack, k)
+                        .iter()
+                        .any(|&b| c.available(b) >= demand.get(k))
+                });
+            prop_assert_eq!(c.rack_fits(rack, &demand), brute);
+        }
+    }
+}

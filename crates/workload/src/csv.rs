@@ -1,0 +1,168 @@
+//! CSV trace interchange.
+//!
+//! JSON (in `vm.rs`) is the lossless native format; CSV is the lingua
+//! franca of trace analysis tooling (the Azure trace itself ships as CSV),
+//! so workloads can also round-trip through a simple header-checked CSV:
+//!
+//! ```text
+//! id,cpu_cores,ram_gb,storage_gb,arrival,lifetime
+//! 0,8,16,128,12.5,6300
+//! ```
+
+use crate::vm::{VmId, VmRequest, Workload};
+
+/// The exact header line emitted and required.
+pub const HEADER: &str = "id,cpu_cores,ram_gb,storage_gb,arrival,lifetime";
+
+/// Errors raised while parsing a CSV trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// First line did not match [`HEADER`].
+    BadHeader,
+    /// A row had the wrong number of fields.
+    BadArity {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A field failed to parse.
+    BadField {
+        /// 1-based line number.
+        line: usize,
+        /// Column name.
+        column: &'static str,
+    },
+    /// Rows are not sorted by arrival time.
+    NotSorted {
+        /// 1-based line number of the offending row.
+        line: usize,
+    },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::BadHeader => write!(f, "bad CSV header (expected '{HEADER}')"),
+            CsvError::BadArity { line } => write!(f, "line {line}: expected 6 fields"),
+            CsvError::BadField { line, column } => {
+                write!(f, "line {line}: cannot parse column '{column}'")
+            }
+            CsvError::NotSorted { line } => {
+                write!(f, "line {line}: arrivals must be non-decreasing")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Serialize a workload as CSV (header + one row per VM).
+pub fn to_csv(w: &Workload) -> String {
+    let mut out = String::with_capacity(64 * (w.len() + 1));
+    out.push_str(HEADER);
+    out.push('\n');
+    for vm in w.vms() {
+        out.push_str(&format!(
+            "{},{},{},{},{},{}\n",
+            vm.id.0, vm.cpu_cores, vm.ram_gb, vm.storage_gb, vm.arrival, vm.lifetime
+        ));
+    }
+    out
+}
+
+/// Parse a workload from CSV produced by [`to_csv`] (or hand-written in
+/// the same schema). `name` labels the resulting workload.
+pub fn from_csv(name: &str, csv: &str) -> Result<Workload, CsvError> {
+    let mut lines = csv.lines().enumerate();
+    match lines.next() {
+        Some((_, h)) if h.trim() == HEADER => {}
+        _ => return Err(CsvError::BadHeader),
+    }
+    let mut vms: Vec<VmRequest> = Vec::new();
+    let mut last_arrival = f64::NEG_INFINITY;
+    for (idx, row) in lines {
+        let line = idx + 1;
+        let row = row.trim();
+        if row.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = row.split(',').collect();
+        if fields.len() != 6 {
+            return Err(CsvError::BadArity { line });
+        }
+        fn num<T: std::str::FromStr>(
+            s: &str,
+            line: usize,
+            column: &'static str,
+        ) -> Result<T, CsvError> {
+            s.trim()
+                .parse()
+                .map_err(|_| CsvError::BadField { line, column })
+        }
+        let vm = VmRequest {
+            id: VmId(num(fields[0], line, "id")?),
+            cpu_cores: num(fields[1], line, "cpu_cores")?,
+            ram_gb: num(fields[2], line, "ram_gb")?,
+            storage_gb: num(fields[3], line, "storage_gb")?,
+            arrival: num(fields[4], line, "arrival")?,
+            lifetime: num(fields[5], line, "lifetime")?,
+        };
+        if vm.arrival < last_arrival {
+            return Err(CsvError::NotSorted { line });
+        }
+        last_arrival = vm.arrival;
+        vms.push(vm);
+    }
+    Ok(Workload::from_vms(name, vms))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SyntheticConfig;
+
+    #[test]
+    fn roundtrip_preserves_everything_but_name() {
+        let w = Workload::synthetic(&SyntheticConfig::small(60, 3));
+        let back = from_csv("synthetic", &to_csv(&w)).unwrap();
+        assert_eq!(w, back);
+    }
+
+    #[test]
+    fn header_enforced() {
+        assert_eq!(from_csv("x", "wrong\n1,2,3,4,5,6").unwrap_err(), CsvError::BadHeader);
+        assert_eq!(from_csv("x", "").unwrap_err(), CsvError::BadHeader);
+    }
+
+    #[test]
+    fn arity_and_field_errors_carry_line_numbers() {
+        let csv = format!("{HEADER}\n0,1,2,128,0.0,10\n1,2,3\n");
+        assert_eq!(from_csv("x", &csv).unwrap_err(), CsvError::BadArity { line: 3 });
+
+        let csv = format!("{HEADER}\n0,one,2,128,0.0,10\n");
+        assert_eq!(
+            from_csv("x", &csv).unwrap_err(),
+            CsvError::BadField {
+                line: 2,
+                column: "cpu_cores"
+            }
+        );
+    }
+
+    #[test]
+    fn unsorted_arrivals_rejected() {
+        let csv = format!("{HEADER}\n0,1,2,128,5.0,10\n1,1,2,128,4.0,10\n");
+        assert_eq!(from_csv("x", &csv).unwrap_err(), CsvError::NotSorted { line: 3 });
+    }
+
+    #[test]
+    fn blank_lines_tolerated() {
+        let csv = format!("{HEADER}\n0,1,2,128,1.0,10\n\n1,1,2,128,2.0,10\n");
+        assert_eq!(from_csv("x", &csv).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(CsvError::BadHeader.to_string().contains(HEADER));
+        assert!(CsvError::NotSorted { line: 7 }.to_string().contains('7'));
+    }
+}

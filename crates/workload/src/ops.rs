@@ -1,0 +1,120 @@
+//! Workload transformations: slicing, scaling, merging — the operations a
+//! trace-driven study needs (the paper itself slices the Azure trace into
+//! its first 3000/5000/7500 VMs).
+
+use crate::vm::{VmId, VmRequest, Workload};
+
+/// The first `n` requests, re-labelled `"<name>[..n]"` (the paper's
+/// "first N VMs" slicing).
+pub fn take_first(w: &Workload, n: usize) -> Workload {
+    let vms: Vec<VmRequest> = w.vms().iter().take(n).copied().collect();
+    Workload::from_vms(format!("{}[..{}]", w.name(), vms.len()), reindex(vms))
+}
+
+/// Requests arriving within `[start, end)`, arrivals shifted so the window
+/// starts at 0.
+pub fn window(w: &Workload, start: f64, end: f64) -> Workload {
+    let vms: Vec<VmRequest> = w
+        .vms()
+        .iter()
+        .filter(|v| v.arrival >= start && v.arrival < end)
+        .map(|v| VmRequest {
+            arrival: v.arrival - start,
+            ..*v
+        })
+        .collect();
+    Workload::from_vms(format!("{}[{start}..{end})", w.name()), reindex(vms))
+}
+
+/// Scale every arrival time by `factor` (> 1 slows the workload down,
+/// < 1 speeds it up); lifetimes are untouched, so the offered load scales
+/// inversely with `factor`.
+pub fn scale_arrivals(w: &Workload, factor: f64) -> Workload {
+    assert!(factor > 0.0, "scale factor must be positive");
+    let vms: Vec<VmRequest> = w
+        .vms()
+        .iter()
+        .map(|v| VmRequest {
+            arrival: v.arrival * factor,
+            ..*v
+        })
+        .collect();
+    Workload::from_vms(format!("{}x{factor}", w.name()), vms)
+}
+
+/// Merge two workloads by arrival time (e.g. overlaying a synthetic burst
+/// onto an Azure baseline). Ids are reassigned by merged order.
+pub fn merge(a: &Workload, b: &Workload) -> Workload {
+    let mut vms: Vec<VmRequest> = a.vms().iter().chain(b.vms().iter()).copied().collect();
+    vms.sort_by(|x, y| x.arrival.total_cmp(&y.arrival));
+    Workload::from_vms(format!("{}+{}", a.name(), b.name()), reindex(vms))
+}
+
+fn reindex(mut vms: Vec<VmRequest>) -> Vec<VmRequest> {
+    for (i, vm) in vms.iter_mut().enumerate() {
+        vm.id = VmId(i as u32);
+    }
+    vms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SyntheticConfig;
+
+    fn base() -> Workload {
+        Workload::synthetic(&SyntheticConfig::small(100, 5))
+    }
+
+    #[test]
+    fn take_first_slices_and_reindexes() {
+        let w = take_first(&base(), 10);
+        assert_eq!(w.len(), 10);
+        assert_eq!(w.vms()[0].id, VmId(0));
+        assert_eq!(w.vms()[9].id, VmId(9));
+        assert!(w.name().contains("[..10]"));
+        // Taking more than available is the identity in length.
+        assert_eq!(take_first(&base(), 1000).len(), 100);
+    }
+
+    #[test]
+    fn window_shifts_to_zero() {
+        let b = base();
+        let mid = b.vms()[50].arrival;
+        let w = window(&b, mid, f64::INFINITY);
+        assert!(w.len() <= 50);
+        assert!(w.vms()[0].arrival >= 0.0);
+        assert!(w.vms()[0].arrival < 1e6);
+        // The first in-window VM now arrives at (old - start).
+        let first_old = b.vms().iter().find(|v| v.arrival >= mid).unwrap();
+        assert!((w.vms()[0].arrival - (first_old.arrival - mid)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_changes_span_not_lifetimes() {
+        let b = base();
+        let slow = scale_arrivals(&b, 2.0);
+        assert_eq!(slow.len(), b.len());
+        let last_b = b.vms().last().unwrap();
+        let last_s = slow.vms().last().unwrap();
+        assert!((last_s.arrival - last_b.arrival * 2.0).abs() < 1e-9);
+        assert_eq!(last_s.lifetime, last_b.lifetime);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_rejected() {
+        scale_arrivals(&base(), 0.0);
+    }
+
+    #[test]
+    fn merge_interleaves_sorted() {
+        let a = base();
+        let b = scale_arrivals(&base(), 1.37);
+        let m = merge(&a, &b);
+        assert_eq!(m.len(), 200);
+        assert!(m.vms().windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        // Dense re-ids.
+        assert_eq!(m.vms()[199].id, VmId(199));
+    }
+}

@@ -1,0 +1,234 @@
+//! The paper's synthetic random workload (§5.1).
+//!
+//! > "A VM can have a random amount of CPU cores from 1 to 32 cores and a
+//! > random amount of RAM from 1 to 32 GB. Storage for every VM is 128 GB.
+//! > Requests are produced dynamically based on a Poisson distribution with
+//! > a mean interarrival period of 10 time units. The VM life cycle begins
+//! > at 6300 time units, with an increment of 360 time units for each set
+//! > of 100 requests. A total of 2500 VMs were generated."
+
+use crate::vm::{VmId, VmRequest, Workload};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Exp};
+use serde::{Deserialize, Serialize};
+
+/// How VM lifetimes are drawn.
+///
+/// The paper uses the deterministic staircase (§5.1); the other models are
+/// ablation hooks showing RISA's advantage is not an artifact of the
+/// staircase (`cargo bench -p risa-bench --bench ablation`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum LifetimeModel {
+    /// The paper's staircase: `base + step × ⌊i / step_every⌋`.
+    #[default]
+    Staircase,
+    /// I.i.d. exponential lifetimes with the given mean (time units).
+    Exponential {
+        /// Mean lifetime.
+        mean: f64,
+    },
+    /// Every VM lives exactly this long.
+    Fixed {
+        /// The lifetime.
+        value: f64,
+    },
+}
+
+/// Parameters of the synthetic random workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticConfig {
+    /// Number of VM requests (paper: 2500).
+    pub num_vms: u32,
+    /// Mean interarrival period, time units (paper: 10; Poisson process ⇒
+    /// exponential interarrival).
+    pub interarrival_mean: f64,
+    /// Inclusive CPU range in cores (paper: 1..=32).
+    pub cpu_cores: (u32, u32),
+    /// Inclusive RAM range in GB (paper: 1..=32).
+    pub ram_gb: (u32, u32),
+    /// Fixed storage per VM in GB (paper: 128).
+    pub storage_gb: u32,
+    /// Initial lifetime, time units (paper: 6300).
+    pub lifetime_base: f64,
+    /// Lifetime increment per completed request set (paper: 360).
+    pub lifetime_step: f64,
+    /// Requests per set (paper: 100).
+    pub lifetime_step_every: u32,
+    /// Lifetime model (paper: the staircase; see [`LifetimeModel`]).
+    pub lifetime_model: LifetimeModel,
+    /// RNG seed; identical seeds reproduce the workload bit-for-bit.
+    pub seed: u64,
+}
+
+impl SyntheticConfig {
+    /// The paper's §5.1 parameters with a chosen seed.
+    pub fn paper(seed: u64) -> Self {
+        SyntheticConfig {
+            num_vms: 2500,
+            interarrival_mean: 10.0,
+            cpu_cores: (1, 32),
+            ram_gb: (1, 32),
+            storage_gb: 128,
+            lifetime_base: 6300.0,
+            lifetime_step: 360.0,
+            lifetime_step_every: 100,
+            lifetime_model: LifetimeModel::Staircase,
+            seed,
+        }
+    }
+
+    /// A scaled-down variant for fast tests and examples.
+    pub fn small(num_vms: u32, seed: u64) -> Self {
+        SyntheticConfig {
+            num_vms,
+            ..SyntheticConfig::paper(seed)
+        }
+    }
+
+    /// Lifetime of the `i`-th request (0-based) under the staircase rule.
+    pub fn lifetime_of(&self, i: u32) -> f64 {
+        self.lifetime_base + self.lifetime_step * (i / self.lifetime_step_every) as f64
+    }
+}
+
+/// Generate the workload described by `cfg`.
+pub fn generate(cfg: &SyntheticConfig) -> Workload {
+    assert!(cfg.interarrival_mean > 0.0, "interarrival mean must be > 0");
+    assert!(cfg.cpu_cores.0 >= 1 && cfg.cpu_cores.0 <= cfg.cpu_cores.1);
+    assert!(cfg.ram_gb.0 >= 1 && cfg.ram_gb.0 <= cfg.ram_gb.1);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let exp = Exp::new(1.0 / cfg.interarrival_mean).expect("positive rate");
+    let mut t = 0.0f64;
+    let vms = (0..cfg.num_vms)
+        .map(|i| {
+            t += exp.sample(&mut rng);
+            let lifetime = match cfg.lifetime_model {
+                LifetimeModel::Staircase => cfg.lifetime_of(i),
+                LifetimeModel::Exponential { mean } => {
+                    assert!(mean > 0.0, "exponential lifetime mean must be > 0");
+                    Exp::new(1.0 / mean).expect("positive rate").sample(&mut rng)
+                }
+                LifetimeModel::Fixed { value } => {
+                    assert!(value >= 0.0, "fixed lifetime must be non-negative");
+                    value
+                }
+            };
+            VmRequest {
+                id: VmId(i),
+                cpu_cores: rng.gen_range(cfg.cpu_cores.0..=cfg.cpu_cores.1),
+                ram_gb: rng.gen_range(cfg.ram_gb.0..=cfg.ram_gb.1),
+                storage_gb: cfg.storage_gb,
+                arrival: t,
+                lifetime,
+            }
+        })
+        .collect();
+    Workload::from_vms("synthetic", vms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_shape() {
+        let w = generate(&SyntheticConfig::paper(1));
+        assert_eq!(w.len(), 2500);
+        for vm in w.vms() {
+            assert!((1..=32).contains(&vm.cpu_cores));
+            assert!((1..=32).contains(&vm.ram_gb));
+            assert_eq!(vm.storage_gb, 128);
+        }
+        // Arrivals strictly ordered and positive.
+        assert!(w.vms().windows(2).all(|p| p[0].arrival <= p[1].arrival));
+        assert!(w.vms()[0].arrival > 0.0);
+    }
+
+    #[test]
+    fn lifetime_staircase() {
+        let cfg = SyntheticConfig::paper(1);
+        assert_eq!(cfg.lifetime_of(0), 6300.0);
+        assert_eq!(cfg.lifetime_of(99), 6300.0);
+        assert_eq!(cfg.lifetime_of(100), 6660.0);
+        assert_eq!(cfg.lifetime_of(250), 6300.0 + 2.0 * 360.0);
+        // Last of 2500: floor(2499/100) = 24 steps ⇒ 14 940 time units.
+        assert_eq!(cfg.lifetime_of(2499), 6300.0 + 24.0 * 360.0);
+        let w = generate(&cfg);
+        assert_eq!(w.vms()[2499].lifetime, 14_940.0);
+    }
+
+    #[test]
+    fn mean_interarrival_approximates_config() {
+        let w = generate(&SyntheticConfig::paper(7));
+        let total = w.vms().last().unwrap().arrival;
+        let mean = total / w.len() as f64;
+        // Exponential with mean 10 over 2500 samples: ±5 % is generous.
+        assert!((mean - 10.0).abs() < 0.5, "mean interarrival {mean}");
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_distinct_across_seeds() {
+        let a = generate(&SyntheticConfig::paper(42));
+        let b = generate(&SyntheticConfig::paper(42));
+        let c = generate(&SyntheticConfig::paper(43));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uniform_cpu_covers_range() {
+        let w = generate(&SyntheticConfig::paper(3));
+        let mut seen = [false; 33];
+        for vm in w.vms() {
+            seen[vm.cpu_cores as usize] = true;
+        }
+        // With 2500 draws over 32 values, every value appears w.h.p.
+        assert!(seen[1..=32].iter().all(|&s| s));
+    }
+
+    #[test]
+    fn small_config_scales_down() {
+        let w = generate(&SyntheticConfig::small(50, 9));
+        assert_eq!(w.len(), 50);
+        assert_eq!(w.vms()[49].lifetime, 6300.0);
+    }
+
+    #[test]
+    fn every_vm_fits_one_box() {
+        use risa_topology::TopologyConfig;
+        let w = generate(&SyntheticConfig::paper(5));
+        assert!(w.validate_fits(&TopologyConfig::paper()).is_ok());
+    }
+
+    #[test]
+    fn exponential_lifetimes_have_requested_mean() {
+        let cfg = SyntheticConfig {
+            lifetime_model: LifetimeModel::Exponential { mean: 5000.0 },
+            ..SyntheticConfig::paper(8)
+        };
+        let w = generate(&cfg);
+        let mean: f64 = w.vms().iter().map(|v| v.lifetime).sum::<f64>() / w.len() as f64;
+        assert!((mean - 5000.0).abs() < 300.0, "mean lifetime {mean}");
+        // Genuinely random: lifetimes differ.
+        assert!(w.vms()[0].lifetime != w.vms()[1].lifetime);
+    }
+
+    #[test]
+    fn fixed_lifetimes_are_constant() {
+        let cfg = SyntheticConfig {
+            lifetime_model: LifetimeModel::Fixed { value: 1234.0 },
+            ..SyntheticConfig::small(50, 8)
+        };
+        let w = generate(&cfg);
+        assert!(w.vms().iter().all(|v| v.lifetime == 1234.0));
+    }
+
+    #[test]
+    fn default_model_is_the_paper_staircase() {
+        assert_eq!(LifetimeModel::default(), LifetimeModel::Staircase);
+        let w = generate(&SyntheticConfig::paper(8));
+        assert_eq!(w.vms()[0].lifetime, 6300.0);
+        assert_eq!(w.vms()[150].lifetime, 6660.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! The paper's §5.2 practical-workload study end to end: characterize the
+//! Azure-like workloads (Figure 6), then regenerate Figures 7–10 and 12.
+//!
+//! ```sh
+//! cargo run --release --example azure_study
+//! ```
+
+use risa::sim::{experiments, host_info};
+
+fn main() {
+    let seed = 2023; // the paper's publication year, for flavour
+    println!("{}\n", host_info());
+
+    let fig6 = experiments::fig6(seed);
+    println!("{fig6}");
+
+    for rep in [
+        experiments::fig7(seed),
+        experiments::fig8(seed),
+        experiments::fig9(seed),
+        experiments::fig10(seed),
+        experiments::fig12(seed),
+    ] {
+        println!("{rep}");
+    }
+
+    println!("paper reference points:");
+    println!("  Fig 7 : NULB up to 52 %, NALB up to 48 %, RISA/RISA-BF 0 %");
+    println!("  Fig 8 : intra 30.4 / 35.4 / 42.6 % (equal across algorithms); inter 0 for RISA");
+    println!("  Fig 9 : Azure-3000 power 5.22 (NULB) / 5.27 (NALB) / 3.36 kW (RISA, -33 %)");
+    println!("  Fig 10: Azure-3000 latency 226 / 216 / 110 / 110 ns");
+    println!("  Fig 12: Azure-7500 exec time NULB 2.81x, NALB 4.33x of RISA");
+}

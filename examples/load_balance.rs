@@ -1,0 +1,67 @@
+//! Quantify the "round-robin friendliness" that gives RISA its name: how
+//! evenly each algorithm spreads load over racks and trunks at a frozen
+//! mid-run instant. NULB's first-fit piles everything onto the lowest
+//! racks; RISA's rotating cursor keeps the cluster level.
+//!
+//! ```sh
+//! cargo run --release --example load_balance
+//! ```
+
+use risa::metrics::{Align, Quantiles, Table};
+use risa::network::{stats, NetworkConfig, NetworkState};
+use risa::prelude::*;
+use risa::sched::ScheduleOutcome;
+use risa::topology::display;
+use risa::workload::SyntheticConfig;
+
+fn main() {
+    let workload = Workload::synthetic(&SyntheticConfig::small(600, 42));
+    let mut table = Table::new(
+        "Load balance after 600 back-to-back admissions (no departures)",
+        &[
+            "algorithm",
+            "CPU rack imbalance",
+            "box-trunk util CV",
+            "box-trunk util p50/p95/p99/max",
+        ],
+    )
+    .align(&[Align::Left, Align::Right, Align::Right, Align::Left]);
+
+    for algo in Algorithm::ALL {
+        let mut cluster = Cluster::new(TopologyConfig::paper());
+        let mut net = NetworkState::new(NetworkConfig::paper(), &cluster);
+        let mut sched = Scheduler::new(algo, &cluster);
+        for vm in workload.vms() {
+            let demand = vm.demand(cluster.config());
+            match sched.schedule(&mut cluster, &mut net, &demand) {
+                ScheduleOutcome::Assigned(_) | ScheduleOutcome::Dropped(_) => {}
+            }
+        }
+        let imbalance = display::rack_imbalance(&cluster, ResourceKind::Cpu);
+        let dist = stats::box_load_distribution(&net, &cluster);
+        let mut q = Quantiles::new();
+        q.extend(
+            stats::box_trunk_loads(&net, &cluster)
+                .iter()
+                .map(|l| l.utilization()),
+        );
+        table.row(&[
+            algo.to_string(),
+            format!("{:.2}", imbalance),
+            format!("{:.2}", dist.cv),
+            q.summary().unwrap_or_default(),
+        ]);
+
+        if algo == Algorithm::Nulb || algo == Algorithm::Risa {
+            println!("--- {algo} occupancy map (first 6 racks) ---");
+            for line in display::occupancy_map(&cluster).lines().take(6) {
+                println!("{line}");
+            }
+            println!();
+        }
+    }
+    println!("{table}");
+    println!("Reading: a rack imbalance of ~1.0 means some racks are full while others");
+    println!("are empty (NULB/NALB first-fit); RISA/RISA-BF stay near 0 — uniform");
+    println!("utilization, which is exactly the property §4.2 claims for round-robin.");
+}

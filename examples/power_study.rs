@@ -1,0 +1,53 @@
+//! Explore the §3.2 optical energy model (Equation 1) directly: per-path
+//! cell counts, trim-vs-reconfiguration breakdown, the intra/inter energy
+//! ratio that drives Figure 9, and the α sensitivity ablation.
+//!
+//! ```sh
+//! cargo run --release --example power_study
+//! ```
+
+use risa::photonics::{benes, EnergyModel, PhotonicsConfig, SwitchPath};
+use risa::sim::experiments;
+
+fn main() {
+    println!("=== Benes fabric geometry (paper switch sizes) ===");
+    for ports in [64u16, 256, 512] {
+        println!(
+            "  {ports:>3}-port switch: {:>2} stages, {:>5} cells total, {:>2} cells per path",
+            benes::stages(ports),
+            benes::total_cells(ports),
+            benes::path_cells(ports),
+        );
+    }
+
+    let model = EnergyModel::new(PhotonicsConfig::paper());
+    let intra = SwitchPath::intra_rack(64, 256);
+    let inter = SwitchPath::inter_rack(64, 256, 512);
+    println!("\n=== Equation (1) for one flow, by path type ===");
+    for (label, path) in [("intra-rack", &intra), ("inter-rack", &inter)] {
+        let cells = path.total_path_cells();
+        let trim_w = model.trim_power_w(cells);
+        let reconf = model.reconfiguration_energy_j(path);
+        println!(
+            "  {label}: {cells} MRR cells, steady trim {:.3} W, one-off reconfiguration {:.2} uJ",
+            trim_w,
+            reconf * 1e6,
+        );
+    }
+    println!(
+        "  inter/intra switch-energy ratio: {:.2}x (69 vs 37 cells) — the physics behind Fig 9",
+        model.flow_switch_energy_j(&inter, 1000.0) / model.flow_switch_energy_j(&intra, 1000.0)
+    );
+
+    println!("\n=== Transceiver energy (22.5 pJ/bit) for a 40 Gb/s flow, 1 hour ===");
+    for (label, hops) in [("intra-rack (2 hops)", 2), ("inter-rack (4 hops)", 4)] {
+        println!(
+            "  {label}: {:.1} kJ",
+            model.transceiver_energy_j(40_000, 3600.0, hops) / 1000.0
+        );
+    }
+
+    println!("\n=== α sensitivity (paper simulates α = 0.9) ===");
+    let rep = experiments::ablation_alpha(7, &[0.5, 0.7, 0.9, 1.0]);
+    println!("{rep}");
+}

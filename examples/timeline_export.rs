@@ -1,0 +1,36 @@
+//! Record a full utilization time series for one run and export it as CSV
+//! — the raw data you would plot to visualize the paper's time-averaged
+//! figures (arrivals ramp up, the staircase lifetimes hold load, then
+//! departures drain the cluster).
+//!
+//! ```sh
+//! cargo run --release --example timeline_export > timeline.csv
+//! ```
+
+use risa::prelude::*;
+
+fn main() {
+    let mut sim = SimulationBuilder::new()
+        .algorithm(Algorithm::Risa)
+        .workload(WorkloadSpec::synthetic(1500, 42))
+        .record_timeline(500.0) // one sample every 500 time units
+        .build();
+    let report = sim.run();
+    let timeline = sim.timeline().expect("timeline was enabled");
+
+    // CSV to stdout; summary to stderr so redirection stays clean.
+    print!("{}", timeline.to_csv());
+    eprintln!(
+        "run: {} admitted, {} dropped, peak {} resident VMs, {} samples",
+        report.admitted,
+        report.dropped,
+        timeline.peak_resident(),
+        timeline.points().len(),
+    );
+    eprintln!(
+        "time-averaged utilization: cpu {:.1}%  ram {:.1}%  sto {:.1}%",
+        report.cpu_utilization * 100.0,
+        report.ram_utilization * 100.0,
+        report.storage_utilization * 100.0,
+    );
+}

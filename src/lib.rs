@@ -1,0 +1,50 @@
+//! # risa — reproduction of *RISA: Round-Robin Intra-Rack Friendly
+//! Scheduling Algorithm for Disaggregated Datacenters* (SC-W 2023)
+//!
+//! This facade crate re-exports the whole workspace so downstream users can
+//! depend on a single crate:
+//!
+//! * [`topology`] — the disaggregated cluster/rack/box/brick model (Table 1)
+//! * [`network`] — the two-tier optical network substrate (Fig. 2/3, Table 2)
+//! * [`photonics`] — Beneš/MRR switch and transceiver energy models (§3.2)
+//! * [`des`] — the deterministic discrete-event engine
+//! * [`workload`] — synthetic and Azure-2017-like workload generators (§5)
+//! * [`sched`] — NULB, NALB, RISA and RISA-BF (§4, the paper's contribution)
+//! * [`sim`] — the end-to-end simulation driver and per-figure experiments
+//! * [`metrics`] — measurement kernels used by the experiments
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use risa::prelude::*;
+//!
+//! // The paper's DDC (Table 1) and a small random workload.
+//! let mut sim = SimulationBuilder::new()
+//!     .algorithm(Algorithm::Risa)
+//!     .workload(WorkloadSpec::synthetic(200, 42))
+//!     .build();
+//! let report = sim.run();
+//! assert_eq!(report.dropped, 0);
+//! assert!(report.intra_rack_assignments() > 0);
+//! ```
+
+pub use risa_des as des;
+pub use risa_metrics as metrics;
+pub use risa_network as network;
+pub use risa_photonics as photonics;
+pub use risa_sched as sched;
+pub use risa_sim as sim;
+pub use risa_topology as topology;
+pub use risa_workload as workload;
+
+/// One-stop imports for examples and downstream applications.
+pub mod prelude {
+    pub use risa_network::{NetworkConfig, NetworkState};
+    pub use risa_photonics::{EnergyModel, PhotonicsConfig};
+    pub use risa_sched::{Algorithm, ScheduleOutcome, Scheduler};
+    pub use risa_sim::{ExperimentReport, RunReport, SimulationBuilder, WorkloadSpec};
+    pub use risa_topology::{
+        BoxId, Cluster, RackId, ResourceKind, TopologyConfig, UnitDemand,
+    };
+    pub use risa_workload::{AzureSubset, SyntheticConfig, VmRequest, Workload};
+}

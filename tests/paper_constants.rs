@@ -1,0 +1,77 @@
+//! Cross-crate checks that every constant the paper states (Tables 1, 2,
+//! §3.2, §5.2) is wired through the public facade unchanged.
+
+use risa::prelude::*;
+
+#[test]
+fn table1_through_facade() {
+    let cfg = TopologyConfig::paper();
+    assert_eq!(cfg.racks, 18);
+    assert_eq!(cfg.box_mix.total(), 6);
+    assert_eq!(cfg.bricks_per_box, 8);
+    assert_eq!(cfg.units_per_brick, 16);
+    assert_eq!(cfg.units.cpu_cores_per_unit, 4);
+    assert_eq!(cfg.units.ram_gb_per_unit, 4);
+    assert_eq!(cfg.units.storage_gb_per_unit, 64);
+
+    let cluster = Cluster::new(cfg);
+    assert_eq!(cluster.num_boxes(), 108);
+    assert_eq!(cluster.total_capacity(ResourceKind::Cpu), 4608);
+}
+
+#[test]
+fn table2_through_facade() {
+    let n = NetworkConfig::paper();
+    assert_eq!(n.cpu_ram_mbps_per_unit, 5_000); // 5 Gb/s/unit
+    assert_eq!(n.ram_sto_mbps_per_unit, 1_000); // 1 Gb/s/unit
+    assert_eq!(n.link_mbps, 200_000); // 8 x 25 Gb/s
+}
+
+#[test]
+fn section_3_2_photonics_constants() {
+    let p = risa::photonics::PhotonicsConfig::paper();
+    assert_eq!(p.p_trim_mw, 22.67);
+    assert_eq!(p.p_sw_mw, 13.75);
+    assert_eq!(p.alpha, 0.9);
+    assert_eq!(p.transceiver_pj_per_bit, 22.5);
+}
+
+#[test]
+fn section_5_2_switch_sizes_and_latency() {
+    use risa::photonics::benes;
+    let n = NetworkConfig::paper();
+    assert_eq!(n.box_switch_ports, 64);
+    assert_eq!(n.rack_switch_ports, 256);
+    assert_eq!(n.inter_rack_switch_ports, 512);
+    // Beneš path cells for the three sizes.
+    assert_eq!(benes::path_cells(64), 11);
+    assert_eq!(benes::path_cells(256), 15);
+    assert_eq!(benes::path_cells(512), 17);
+
+    let l = risa::sim::LatencyConfig::paper();
+    assert_eq!(l.intra_rack_ns, 110.0);
+    assert_eq!(l.inter_rack_ns, 330.0);
+}
+
+#[test]
+fn synthetic_workload_parameters() {
+    let w = Workload::synthetic(&SyntheticConfig::paper(1));
+    assert_eq!(w.len(), 2500);
+    assert!(w.vms().iter().all(|v| v.storage_gb == 128));
+    assert!(w.vms().iter().all(|v| (1..=32).contains(&v.cpu_cores)));
+    assert!(w.vms().iter().all(|v| (1..=32).contains(&v.ram_gb)));
+    assert_eq!(w.vms()[0].lifetime, 6300.0);
+    assert_eq!(w.vms()[100].lifetime, 6660.0);
+}
+
+#[test]
+fn azure_marginals_match_fig6() {
+    // One spot check per subset through the facade (exhaustive checks live
+    // in risa-workload's unit tests).
+    let w3 = Workload::azure(AzureSubset::N3000, 9);
+    assert_eq!(w3.vms().iter().filter(|v| v.cpu_cores == 1).count(), 1326);
+    let w5 = Workload::azure(AzureSubset::N5000, 9);
+    assert_eq!(w5.vms().iter().filter(|v| v.cpu_cores == 2).count(), 2514);
+    let w7 = Workload::azure(AzureSubset::N7500, 9);
+    assert_eq!(w7.vms().iter().filter(|v| v.ram_gb == 56).count(), 108);
+}
