@@ -39,7 +39,10 @@ fn main() {
     println!("{}", experiments::ablation_alpha(7, &[0.5, 0.7, 0.9, 1.0]));
     println!("{}", experiments::ablation_seeds(&[1, 2, 3, 4, 5], 1200));
     println!("{}", experiments::ablation_lifetimes(7, 1200));
-    println!("{}", experiments::fig5_seed_sweep(&[1, 2, 3, 4, 5, 6, 7, 8], 1200));
+    println!(
+        "{}",
+        experiments::fig5_seed_sweep(&[1, 2, 3, 4, 5, 6, 7, 8], 1200)
+    );
     empirical_alpha_table();
 
     // No kernel benchmark here — the tables above are the artifact — but

@@ -23,7 +23,9 @@ fn bench(c: &mut Criterion) {
 
 fn main() {
     println!("{}", experiments::fig6(2023));
-    println!("paper Azure-3000 CPU bins: 1326 / 1269 / 316 / 89; RAM bins: 2591 / 299 / 15 / 17 / 78\n");
+    println!(
+        "paper Azure-3000 CPU bins: 1326 / 1269 / 316 / 89; RAM bins: 2591 / 299 / 15 / 17 / 78\n"
+    );
 
     let mut c = Criterion::default().configure_from_args();
     bench(&mut c);

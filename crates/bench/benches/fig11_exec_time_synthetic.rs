@@ -31,13 +31,9 @@ fn bench(c: &mut Criterion) {
     for algo in Algorithm::ALL {
         let (mut cluster, mut net, mut sched) = loaded_state(algo);
         g.bench_with_input(BenchmarkId::from_parameter(algo), &algo, |b, _| {
-            b.iter(|| {
-                match sched.schedule(&mut cluster, &mut net, &d) {
-                    ScheduleOutcome::Assigned(a) => {
-                        Scheduler::release(&mut cluster, &mut net, &a)
-                    }
-                    ScheduleOutcome::Dropped(r) => panic!("dropped: {r:?}"),
-                }
+            b.iter(|| match sched.schedule(&mut cluster, &mut net, &d) {
+                ScheduleOutcome::Assigned(a) => Scheduler::release(&mut cluster, &mut net, &a),
+                ScheduleOutcome::Dropped(r) => panic!("dropped: {r:?}"),
             });
         });
     }
@@ -47,7 +43,9 @@ fn bench(c: &mut Criterion) {
 fn main() {
     println!("{}", risa_sim::host_info());
     println!("{}", experiments::fig11(42));
-    println!("paper: NALB 865 s > NULB 233 s > RISA-BF 112 s >= RISA 111 s (ordering is the result)\n");
+    println!(
+        "paper: NALB 865 s > NULB 233 s > RISA-BF 112 s >= RISA 111 s (ordering is the result)\n"
+    );
 
     let mut c = Criterion::default().configure_from_args();
     bench(&mut c);

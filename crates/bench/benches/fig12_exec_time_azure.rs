@@ -32,13 +32,9 @@ fn bench(c: &mut Criterion) {
     for algo in Algorithm::ALL {
         let (mut cluster, mut net, mut sched) = loaded_state(algo);
         g.bench_with_input(BenchmarkId::from_parameter(algo), &algo, |b, _| {
-            b.iter(|| {
-                match sched.schedule(&mut cluster, &mut net, &d) {
-                    ScheduleOutcome::Assigned(a) => {
-                        Scheduler::release(&mut cluster, &mut net, &a)
-                    }
-                    ScheduleOutcome::Dropped(r) => panic!("dropped: {r:?}"),
-                }
+            b.iter(|| match sched.schedule(&mut cluster, &mut net, &d) {
+                ScheduleOutcome::Assigned(a) => Scheduler::release(&mut cluster, &mut net, &a),
+                ScheduleOutcome::Dropped(r) => panic!("dropped: {r:?}"),
             });
         });
     }

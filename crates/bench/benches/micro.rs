@@ -37,7 +37,13 @@ fn bench_network(c: &mut Criterion) {
     c.bench_function("micro_flow_alloc_release_inter", |b| {
         b.iter(|| {
             let f = net
-                .alloc_flow(&cluster, BoxId(0), BoxId(8), 20_000, LinkPolicy::MostAvailable)
+                .alloc_flow(
+                    &cluster,
+                    BoxId(0),
+                    BoxId(8),
+                    20_000,
+                    LinkPolicy::MostAvailable,
+                )
                 .unwrap();
             net.release_flow(&f);
         })

@@ -10,15 +10,24 @@ use risa_topology::{Cluster, ResourceKind, TopologyConfig, UnitDemand};
 
 fn print_table1() {
     let cfg = TopologyConfig::paper();
-    let mut t = Table::new("Table 1: disaggregated architecture configuration", &["parameter", "value"])
-        .align(&[Align::Left, Align::Right]);
+    let mut t = Table::new(
+        "Table 1: disaggregated architecture configuration",
+        &["parameter", "value"],
+    )
+    .align(&[Align::Left, Align::Right]);
     t.row_display(&["cluster size", &format!("{} racks", cfg.racks)]);
     t.row_display(&["rack size", &format!("{} boxes", cfg.box_mix.total())]);
     t.row_display(&["box size", &format!("{} bricks", cfg.bricks_per_box)]);
     t.row_display(&["brick size", &format!("{} units", cfg.units_per_brick)]);
-    t.row_display(&["CPU unit", &format!("{} cores", cfg.units.cpu_cores_per_unit)]);
+    t.row_display(&[
+        "CPU unit",
+        &format!("{} cores", cfg.units.cpu_cores_per_unit),
+    ]);
     t.row_display(&["RAM unit", &format!("{} GB", cfg.units.ram_gb_per_unit)]);
-    t.row_display(&["storage unit", &format!("{} GB", cfg.units.storage_gb_per_unit)]);
+    t.row_display(&[
+        "storage unit",
+        &format!("{} GB", cfg.units.storage_gb_per_unit),
+    ]);
     println!("{t}");
 }
 
@@ -44,7 +53,13 @@ fn print_table3() {
         "Table 3: toy-example DDC state (availability in units)",
         &["resource", "id0", "id1", "id2", "id3"],
     )
-    .align(&[Align::Left, Align::Right, Align::Right, Align::Right, Align::Right]);
+    .align(&[
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+    ]);
     for (label, list) in [("CPU", ids.cpu), ("RAM", ids.ram), ("STO", ids.sto)] {
         let row: Vec<String> = std::iter::once(label.to_string())
             .chain(list.iter().map(|&b| c.available(b).to_string()))

@@ -14,10 +14,14 @@ commands:
       --workload <synthetic|azure-3000|azure-5000|azure-7500>  (default synthetic)
       --n <count>            synthetic VM count (default 2500)
       --seed <u64>           (default 42)
+      --scale <mult>         run on a mult x paper cluster (default 1)
       --json                 emit the RunReport as JSON
   experiment <id>            regenerate a paper artifact
       <id> ∈ fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 ablation all
       --seed <u64>           (default 42 for fig5/fig11, 2023 otherwise)
+  bench                      scheduling-throughput sweep over cluster sizes
+      --racks <a,b,c>        rack counts to sweep (default 12,48,192,768)
+      --vms <count>          schedule/release cycles per point (default 2000)
   generate                   write a workload trace as JSON
       --workload <...>       as for run
       --n <count> --seed <u64>
@@ -39,8 +43,17 @@ pub enum Command {
         workload: WorkloadArg,
         /// Seed.
         seed: u64,
+        /// Cluster-size multiplier over the paper topology.
+        scale: u16,
         /// Emit JSON instead of the text report.
         json: bool,
+    },
+    /// `bench`
+    Bench {
+        /// Rack counts to sweep.
+        racks: Vec<u16>,
+        /// Schedule/release cycles measured per point.
+        vms: u32,
     },
     /// `experiment <id>`
     Experiment {
@@ -136,6 +149,23 @@ fn opt_u64(options: &[(String, String)], key: &str, default: u64) -> Result<u64,
     }
 }
 
+/// As [`opt_u64`] but range-checked into a narrower integer type, so
+/// oversized values error instead of silently truncating.
+fn opt_int<T: TryFrom<u64>>(
+    options: &[(String, String)],
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match opt(options, key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse::<u64>()
+            .ok()
+            .and_then(|n| T::try_from(n).ok())
+            .ok_or_else(|| format!("--{key}: number out of range '{v}'")),
+    }
+}
+
 /// Parse an argument vector (excluding the program name).
 pub fn parse(argv: &[String]) -> Result<Command, String> {
     let Some(cmd) = argv.first() else {
@@ -154,12 +184,41 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             if !pos.is_empty() {
                 return Err(format!("unexpected argument '{}'", pos[0]));
             }
-            let n = opt_u64(&options, "n", 2500)? as u32;
+            let n = opt_int::<u32>(&options, "n", 2500)?;
+            let scale = opt_int::<u16>(&options, "scale", 1)?;
+            if scale == 0 {
+                return Err("--scale must be at least 1".into());
+            }
             Ok(Command::Run {
                 algo: opt(&options, "algo").unwrap_or("RISA").parse()?,
                 workload: parse_workload(opt(&options, "workload").unwrap_or("synthetic"), n)?,
                 seed: opt_u64(&options, "seed", 42)?,
+                scale,
                 json: opt(&options, "json").is_some(),
+            })
+        }
+        "bench" => {
+            let (pos, options) = split_options(rest, &[])?;
+            if !pos.is_empty() {
+                return Err(format!("unexpected argument '{}'", pos[0]));
+            }
+            let racks = match opt(&options, "racks") {
+                None => vec![12, 48, 192, 768],
+                Some(list) => list
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<u16>()
+                            .map_err(|_| format!("--racks: bad rack count '{s}'"))
+                    })
+                    .collect::<Result<Vec<u16>, String>>()?,
+            };
+            if racks.is_empty() || racks.contains(&0) {
+                return Err("--racks needs positive rack counts".into());
+            }
+            Ok(Command::Bench {
+                racks,
+                vms: opt_int::<u32>(&options, "vms", 2000)?,
             })
         }
         "experiment" => {
@@ -183,7 +242,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             if !pos.is_empty() {
                 return Err(format!("unexpected argument '{}'", pos[0]));
             }
-            let n = opt_u64(&options, "n", 2500)? as u32;
+            let n = opt_int::<u32>(&options, "n", 2500)?;
             Ok(Command::Generate {
                 workload: parse_workload(opt(&options, "workload").unwrap_or("synthetic"), n)?,
                 seed: opt_u64(&options, "seed", 42)?,
@@ -230,6 +289,7 @@ mod tests {
                 algo: Algorithm::Risa,
                 workload: WorkloadArg::Synthetic { n: 2500 },
                 seed: 42,
+                scale: 1,
                 json: false,
             }
         );
@@ -245,6 +305,8 @@ mod tests {
             "azure-5000",
             "--seed",
             "7",
+            "--scale",
+            "10",
             "--json",
         ]))
         .unwrap();
@@ -254,9 +316,37 @@ mod tests {
                 algo: Algorithm::Nalb,
                 workload: WorkloadArg::Azure(AzureSubset::N5000),
                 seed: 7,
+                scale: 10,
                 json: true,
             }
         );
+        assert!(parse(&v(&["run", "--scale", "0"])).is_err());
+        // Out-of-range values error instead of silently truncating.
+        assert!(parse(&v(&["run", "--scale", "65536"])).is_err());
+        assert!(parse(&v(&["run", "--n", "4294967296"])).is_err());
+        assert!(parse(&v(&["bench", "--vms", "4294967296"])).is_err());
+    }
+
+    #[test]
+    fn parses_bench() {
+        let c = parse(&v(&["bench"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Bench {
+                racks: vec![12, 48, 192, 768],
+                vms: 2000,
+            }
+        );
+        let c = parse(&v(&["bench", "--racks", "18,36", "--vms", "500"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Bench {
+                racks: vec![18, 36],
+                vms: 500,
+            }
+        );
+        assert!(parse(&v(&["bench", "--racks", "12,x"])).is_err());
+        assert!(parse(&v(&["bench", "--racks", "0"])).is_err());
     }
 
     #[test]

@@ -3,6 +3,8 @@
 use crate::args::{Command, WorkloadArg};
 use risa_metrics::{Align, Table};
 use risa_network::NetworkConfig;
+use risa_sched::cycle::ScheduleCycle;
+use risa_sched::Algorithm;
 use risa_sim::{experiments, host_info, RunReport, SimulationBuilder, WorkloadSpec};
 use risa_topology::TopologyConfig;
 use risa_workload::{SyntheticConfig, Workload};
@@ -15,16 +17,27 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             algo,
             workload,
             seed,
+            scale,
             json,
         } => {
+            let paper = TopologyConfig::paper();
+            if u32::from(paper.racks) * u32::from(scale) > u32::from(u16::MAX) {
+                return Err(format!(
+                    "--scale {scale} exceeds the {} rack limit ({} racks per paper cluster)",
+                    u16::MAX,
+                    paper.racks
+                ));
+            }
             let spec = spec_of(workload, seed);
             let report = SimulationBuilder::new()
                 .algorithm(algo)
                 .workload(spec)
+                .topology(paper.scaled(scale))
                 .build()
                 .run();
             emit(&report, json)
         }
+        Command::Bench { racks, vms } => bench(&racks, vms),
         Command::Experiment { id, seed } => experiment(&id, seed),
         Command::Generate {
             workload,
@@ -32,8 +45,8 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             out,
         } => generate(workload, seed, out),
         Command::Replay { trace, algo, json } => {
-            let text = std::fs::read_to_string(&trace)
-                .map_err(|e| format!("cannot read {trace}: {e}"))?;
+            let text =
+                std::fs::read_to_string(&trace).map_err(|e| format!("cannot read {trace}: {e}"))?;
             let w = Workload::from_json(&text).map_err(|e| format!("bad trace: {e}"))?;
             let report = SimulationBuilder::new()
                 .algorithm(algo)
@@ -47,9 +60,7 @@ pub fn execute(cmd: Command) -> Result<(), String> {
 
 fn spec_of(workload: WorkloadArg, seed: u64) -> WorkloadSpec {
     match workload {
-        WorkloadArg::Synthetic { n } => {
-            WorkloadSpec::Synthetic(SyntheticConfig::small(n, seed))
-        }
+        WorkloadArg::Synthetic { n } => WorkloadSpec::Synthetic(SyntheticConfig::small(n, seed)),
         WorkloadArg::Azure(subset) => WorkloadSpec::azure(subset, seed),
     }
 }
@@ -71,7 +82,10 @@ fn emit(report: &RunReport, json: bool) -> Result<(), String> {
     t.row_display(&["admitted", &report.admitted.to_string()]);
     t.row_display(&[
         "dropped (compute/network)",
-        &format!("{} ({}/{})", report.dropped, report.dropped_compute, report.dropped_network),
+        &format!(
+            "{} ({}/{})",
+            report.dropped, report.dropped_compute, report.dropped_network
+        ),
     ]);
     t.row_display(&[
         "inter-rack assignments",
@@ -130,7 +144,10 @@ fn info() -> Result<(), String> {
     t.row_display(&["racks", &cfg.racks.to_string()]);
     t.row_display(&[
         "boxes per rack (cpu/ram/sto)",
-        &format!("{}/{}/{}", cfg.box_mix.cpu, cfg.box_mix.ram, cfg.box_mix.storage),
+        &format!(
+            "{}/{}/{}",
+            cfg.box_mix.cpu, cfg.box_mix.ram, cfg.box_mix.storage
+        ),
     ]);
     t.row_display(&["bricks per box", &cfg.bricks_per_box.to_string()]);
     t.row_display(&["units per brick", &cfg.units_per_brick.to_string()]);
@@ -161,6 +178,38 @@ fn info() -> Result<(), String> {
     Ok(())
 }
 
+/// Time `vms` schedule/release cycles per (cluster size × algorithm) and
+/// report schedule operations per second — the Figure 11/12 scaling story
+/// at beyond-paper cluster sizes. With the placement index, throughput
+/// stays near-flat as racks grow; the seed's linear scans degraded.
+fn bench(racks: &[u16], vms: u32) -> Result<(), String> {
+    println!("{}", host_info());
+    let mut t = Table::new(
+        format!("Scheduling throughput vs cluster size ({vms} schedule/release cycles)"),
+        &["racks", "algorithm", "sched ops/s", "µs/op"],
+    )
+    .align(&[Align::Right, Align::Left, Align::Right, Align::Right]);
+    for &n in racks {
+        for algo in Algorithm::ALL {
+            let mut cycle = ScheduleCycle::new(n, algo);
+            let t0 = std::time::Instant::now();
+            for _ in 0..vms {
+                cycle.step();
+            }
+            let secs = t0.elapsed().as_secs_f64();
+            let ops = vms as f64 / secs.max(1e-9);
+            t.row(&[
+                n.to_string(),
+                algo.to_string(),
+                format!("{ops:.0}"),
+                format!("{:.2}", 1e6 / ops),
+            ]);
+        }
+    }
+    println!("{t}");
+    Ok(())
+}
+
 fn experiment(id: &str, seed: Option<u64>) -> Result<(), String> {
     let run_one = |id: &str, seed: Option<u64>| -> Result<(), String> {
         let rep = match id {
@@ -173,8 +222,14 @@ fn experiment(id: &str, seed: Option<u64>) -> Result<(), String> {
             "fig11" => experiments::fig11(seed.unwrap_or(42)),
             "fig12" => experiments::fig12(seed.unwrap_or(2023)),
             "ablation" => {
-                println!("{}", experiments::ablation_trunk_width(seed.unwrap_or(7), &[1, 2, 4, 8]));
-                println!("{}", experiments::ablation_alpha(seed.unwrap_or(7), &[0.5, 0.7, 0.9, 1.0]));
+                println!(
+                    "{}",
+                    experiments::ablation_trunk_width(seed.unwrap_or(7), &[1, 2, 4, 8])
+                );
+                println!(
+                    "{}",
+                    experiments::ablation_alpha(seed.unwrap_or(7), &[0.5, 0.7, 0.9, 1.0])
+                );
                 return Ok(());
             }
             other => return Err(format!("unknown experiment '{other}'")),
@@ -226,6 +281,7 @@ mod tests {
             algo: Algorithm::Risa,
             workload: WorkloadArg::Synthetic { n: 50 },
             seed: 1,
+            scale: 1,
             json: false,
         };
         assert!(execute(cmd).is_ok());
@@ -237,6 +293,7 @@ mod tests {
             algo: Algorithm::Nulb,
             workload: WorkloadArg::Synthetic { n: 20 },
             seed: 1,
+            scale: 1,
             json: true,
         };
         assert!(execute(cmd).is_ok());
@@ -260,6 +317,27 @@ mod tests {
         })
         .unwrap();
         std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn run_scaled_cluster() {
+        let cmd = Command::Run {
+            algo: Algorithm::Risa,
+            workload: WorkloadArg::Synthetic { n: 40 },
+            seed: 2,
+            scale: 10,
+            json: false,
+        };
+        assert!(execute(cmd).is_ok());
+    }
+
+    #[test]
+    fn bench_smoke() {
+        assert!(execute(Command::Bench {
+            racks: vec![12, 24],
+            vms: 200,
+        })
+        .is_ok());
     }
 
     #[test]

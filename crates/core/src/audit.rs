@@ -61,7 +61,10 @@ impl std::fmt::Display for AuditViolation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             AuditViolation::WrongKind { vm, expected } => {
-                write!(f, "vm{vm}: grant for {expected} names a box of another kind")
+                write!(
+                    f,
+                    "vm{vm}: grant for {expected} names a box of another kind"
+                )
             }
             AuditViolation::OverCapacity {
                 vm,
@@ -124,10 +127,8 @@ impl ScheduleAuditor {
         for kind in ALL_RESOURCES {
             let g = a.placement.grant(kind);
             if cluster.kind_of(g.box_id) != kind {
-                self.violations.push(AuditViolation::WrongKind {
-                    vm,
-                    expected: kind,
-                });
+                self.violations
+                    .push(AuditViolation::WrongKind { vm, expected: kind });
             }
             let slot = &mut self.used[g.box_id.0 as usize];
             *slot += g.units as u64;
@@ -142,12 +143,14 @@ impl ScheduleAuditor {
             }
         }
         if a.intra_rack != a.placement.is_intra_rack(cluster) {
-            self.violations.push(AuditViolation::WrongIntraRackFlag { vm });
+            self.violations
+                .push(AuditViolation::WrongIntraRackFlag { vm });
         }
         let cpu_rack = cluster.rack_of(a.placement.grant(ResourceKind::Cpu).box_id);
         let ram_rack = cluster.rack_of(a.placement.grant(ResourceKind::Ram).box_id);
         if a.network.cpu_ram.inter_rack != (cpu_rack != ram_rack) {
-            self.violations.push(AuditViolation::FlowRackMismatch { vm });
+            self.violations
+                .push(AuditViolation::FlowRackMismatch { vm });
         }
         self.resident.insert(vm, a.clone());
         vm
@@ -222,7 +225,10 @@ mod tests {
     use risa_network::{NetworkConfig, NetworkState};
     use risa_topology::UnitDemand;
 
-    fn run_audited(algo: Algorithm, demands: &[UnitDemand]) -> Result<AuditSummary, Vec<AuditViolation>> {
+    fn run_audited(
+        algo: Algorithm,
+        demands: &[UnitDemand],
+    ) -> Result<AuditSummary, Vec<AuditViolation>> {
         let mut cluster = Cluster::new(TopologyConfig::paper());
         let mut net = NetworkState::new(NetworkConfig::paper(), &cluster);
         let mut sched = Scheduler::new(algo, &cluster);

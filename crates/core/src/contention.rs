@@ -6,18 +6,19 @@
 //! all-zero-demand case) resolve in canonical CPU → RAM → storage order,
 //! which the paper leaves unspecified.
 
-use risa_topology::{Cluster, RackId, ResourceKind, UnitDemand, ALL_RESOURCES};
+use risa_topology::{Cluster, ResourceKind, UnitDemand, ALL_RESOURCES};
 
 /// CR per resource kind. `available == 0` with non-zero demand yields
 /// `f64::INFINITY` (that resource is maximally contended — and the VM will
 /// drop in the compute phase anyway).
 ///
-/// Availability is computed by **scanning the box table**, as Algorithm 2's
-/// pseudocode does ("for all res_type: append CR(res_type)"), rather than
-/// from a cached total. Maintaining incremental tracking structures is
-/// RISA's §4.2 contribution; the baselines are defined without one, and
-/// this per-VM scan is part of the NULB/NALB cost the paper's Figures
-/// 11/12 measure.
+/// Algorithm 2's pseudocode computes availability by **scanning the box
+/// table** ("for all res_type: append CR(res_type)"); the per-VM scan is
+/// part of the NULB/NALB cost the paper's Figures 11/12 measure. Since the
+/// cluster now carries incremental totals, the *values* are read in O(1) —
+/// while [`crate::WorkCounters`] still charges the scan the baseline
+/// algorithms are defined with, keeping the machine-independent cost model
+/// identical to the seed's.
 pub fn contention_ratios(
     cluster: &Cluster,
     demand: &UnitDemand,
@@ -40,22 +41,16 @@ pub(crate) fn contention_ratios_counted(
         let req = demand.get(kind) as f64;
         let avail = match restrict {
             None => {
-                let mut n = 0u64;
-                let sum = cluster
-                    .boxes_of_kind(kind)
-                    .map(|b| {
-                        n += 1;
-                        b.available as u64
-                    })
-                    .sum::<u64>() as f64;
-                work.boxes_scanned += n;
-                sum
+                // Identical to the naive Σ over boxes_of_kind; the counter
+                // charges the full scan that sum used to perform.
+                work.boxes_scanned += cluster.config().boxes_of_kind(kind) as u64;
+                cluster.total_available(kind) as f64
             }
             Some(sr) => {
                 work.racks_scanned += sr.racks_for(kind).len() as u64;
                 sr.racks_for(kind)
                     .iter()
-                    .map(|&r| rack_available(cluster, r, kind))
+                    .map(|&r| cluster.rack_total_available(r, kind))
                     .sum::<u64>() as f64
             }
         };
@@ -68,14 +63,6 @@ pub(crate) fn contention_ratios_counted(
         };
     }
     crs
-}
-
-fn rack_available(cluster: &Cluster, rack: RackId, kind: ResourceKind) -> u64 {
-    cluster
-        .boxes_in_rack(rack, kind)
-        .iter()
-        .map(|&b| cluster.available(b) as u64)
-        .sum()
 }
 
 /// The most-contended resource kind (highest CR, ties to canonical order).

@@ -44,7 +44,9 @@
 mod algorithm;
 pub mod audit;
 mod contention;
+pub mod cycle;
 mod nulb;
+pub mod oracle;
 mod risa;
 mod scheduler;
 pub mod toy;

@@ -65,6 +65,10 @@ impl NulbParams {
 pub struct SuperRack {
     racks: [Vec<RackId>; 3],
     member: [Vec<bool>; 3],
+    /// Per kind: `prefix[r]` = number of member racks with id < `r`
+    /// (length racks + 1). Lets the index-backed scans charge the exact
+    /// box count a naive restricted scan would have visited, in O(1).
+    prefix: [Vec<u32>; 3],
 }
 
 impl SuperRack {
@@ -74,16 +78,24 @@ impl SuperRack {
         let n = cluster.num_racks() as usize;
         let mut racks: [Vec<RackId>; 3] = Default::default();
         let mut member: [Vec<bool>; 3] = [vec![false; n], vec![false; n], vec![false; n]];
+        let mut prefix: [Vec<u32>; 3] = [vec![0; n + 1], vec![0; n + 1], vec![0; n + 1]];
         for r in 0..cluster.num_racks() {
             let rack = RackId(r);
             for kind in ALL_RESOURCES {
-                if cluster.rack_max_available(rack, kind) >= demand.get(kind) {
-                    racks[kind.index()].push(rack);
-                    member[kind.index()][r as usize] = true;
+                let k = kind.index();
+                let fits = cluster.rack_max_available(rack, kind) >= demand.get(kind);
+                if fits {
+                    racks[k].push(rack);
+                    member[k][r as usize] = true;
                 }
+                prefix[k][r as usize + 1] = prefix[k][r as usize] + u32::from(fits);
             }
         }
-        SuperRack { racks, member }
+        SuperRack {
+            racks,
+            member,
+            prefix,
+        }
     }
 
     /// Racks able to satisfy `kind`.
@@ -96,6 +108,12 @@ impl SuperRack {
         self.member[kind.index()][rack.0 as usize]
     }
 
+    /// Number of member racks for `kind` with id in `[lo, hi)`. O(1).
+    fn members_in(&self, kind: ResourceKind, lo: u16, hi: u16) -> u64 {
+        let p = &self.prefix[kind.index()];
+        (p[hi as usize] - p[lo as usize]) as u64
+    }
+
     /// True when some kind has no candidate rack at all — the VM cannot be
     /// placed and must drop in the compute phase.
     pub fn infeasible(&self) -> bool {
@@ -103,8 +121,38 @@ impl SuperRack {
     }
 }
 
-/// Find the first box of `kind` able to grant `units`, scanning boxes in
-/// global id order (both algorithms' primary scarce-resource scan).
+/// Reusable buffers for the per-rack sorts NALB still performs; owned by
+/// the `Scheduler` so the hot path allocates nothing per VM.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Scratch {
+    /// NALB's within-rack box ordering buffer.
+    boxes: Vec<BoxId>,
+}
+
+/// Number of member racks (per the optional restriction) in `[lo, hi)`,
+/// excluding `home` — the racks a naive BFS would have fully scanned.
+fn allowed_in_window(
+    restrict: Option<&SuperRack>,
+    kind: ResourceKind,
+    lo: u16,
+    hi: u16,
+    home: RackId,
+) -> u64 {
+    if hi <= lo {
+        return 0;
+    }
+    let total = match restrict {
+        None => (hi - lo) as u64,
+        Some(sr) => sr.members_in(kind, lo, hi),
+    };
+    let home_counts = (lo..hi).contains(&home.0) && restrict.is_none_or(|sr| sr.allows(home, kind));
+    total - u64::from(home_counts)
+}
+
+/// Find the first box of `kind` able to grant `units`, in global id order
+/// (both algorithms' primary scarce-resource scan). The placement index
+/// answers in O(log racks); [`WorkCounters`] is charged exactly what the
+/// naive whole-table scan would have cost.
 fn first_box_of_kind(
     cluster: &Cluster,
     kind: ResourceKind,
@@ -112,18 +160,88 @@ fn first_box_of_kind(
     restrict: Option<&SuperRack>,
     work: &mut WorkCounters,
 ) -> Option<BoxId> {
-    cluster
-        .boxes_of_kind(kind)
-        .find(|b| {
-            work.boxes_scanned += 1;
-            b.available >= units
-                && restrict.is_none_or(|sr| sr.allows(b.rack, kind))
-        })
-        .map(|b| b.id)
+    let total = cluster.config().boxes_of_kind(kind) as u64;
+    let mut from = 0u16;
+    loop {
+        let Some(rack) = cluster.next_rack_with_fit(kind, units, from) else {
+            // The naive scan would have visited every box and found none.
+            work.boxes_scanned += total;
+            return None;
+        };
+        if restrict.is_none_or(|sr| sr.allows(rack, kind)) {
+            let b = cluster
+                .first_fit_in_rack(rack, kind, units)
+                .expect("rack max admits a fit");
+            work.boxes_scanned += cluster.kind_position(b) + 1;
+            return Some(b);
+        }
+        // A fitting but restricted rack: the naive scan passes through it.
+        from = rack.0 + 1;
+        if from >= cluster.num_racks() {
+            work.boxes_scanned += total;
+            return None;
+        }
+    }
+}
+
+/// Scan one rack's boxes in id order for a fit, charging the counters the
+/// naive per-box loop would (found at offset `o` → `o + 1` reads; miss →
+/// the rack's whole box list).
+fn id_order_box_in_rack(
+    cluster: &Cluster,
+    rack: RackId,
+    kind: ResourceKind,
+    units: u32,
+    work: &mut WorkCounters,
+) -> Option<BoxId> {
+    let boxes = cluster.boxes_in_rack(rack, kind);
+    match boxes.iter().position(|&b| cluster.available(b) >= units) {
+        Some(pos) => {
+            work.boxes_scanned += pos as u64 + 1;
+            Some(boxes[pos])
+        }
+        None => {
+            work.boxes_scanned += boxes.len() as u64;
+            None
+        }
+    }
+}
+
+/// NALB's within-rack pick: boxes ordered by descending free uplink
+/// bandwidth (ties to the lower id), first fit wins. Uses the scheduler's
+/// scratch buffer; rack size is a small constant, so the sort is O(1).
+fn bw_order_box_in_rack(
+    cluster: &Cluster,
+    net: &NetworkState,
+    rack: RackId,
+    kind: ResourceKind,
+    units: u32,
+    work: &mut WorkCounters,
+    scratch: &mut Scratch,
+) -> Option<BoxId> {
+    let boxes = cluster.boxes_in_rack(rack, kind);
+    work.sorts += 1;
+    work.links_scanned += boxes.len() as u64;
+    scratch.boxes.clear();
+    scratch.boxes.extend_from_slice(boxes);
+    scratch.boxes.sort_by(|&a, &b| {
+        net.box_uplink_free_mbps(b)
+            .cmp(&net.box_uplink_free_mbps(a))
+            .then(a.cmp(&b))
+    });
+    scratch.boxes.iter().copied().find(|&b| {
+        work.boxes_scanned += 1;
+        cluster.available(b) >= units
+    })
 }
 
 /// BFS search for `kind`: the home rack's boxes first, then every other
 /// rack, with ordering per `order`. Returns the first box that fits.
+///
+/// NULB's id-order walk is served by the placement index's rack-successor
+/// query (skipped racks are charged to [`WorkCounters`] arithmetically);
+/// NALB's bandwidth-descending walk reads the network's incremental rack
+/// ordering instead of sorting every rack per probe.
 #[allow(clippy::too_many_arguments)] // mirrors the paper's parameter list
 fn bfs_find(
     cluster: &Cluster,
@@ -134,64 +252,91 @@ fn bfs_find(
     restrict: Option<&SuperRack>,
     order: NeighborOrder,
     work: &mut WorkCounters,
+    scratch: &mut Scratch,
 ) -> Option<BoxId> {
-    let box_in_rack = |rack: RackId, work: &mut WorkCounters| -> Option<BoxId> {
-        work.racks_scanned += 1;
-        if let Some(sr) = restrict {
-            if !sr.allows(rack, kind) {
-                return None;
-            }
-        }
-        let boxes = cluster.boxes_in_rack(rack, kind);
-        match order {
-            NeighborOrder::ById => boxes.iter().copied().find(|&b| {
-                work.boxes_scanned += 1;
-                cluster.available(b) >= units
-            }),
-            NeighborOrder::ByBandwidthDesc => {
-                // Modified BFS: prefer boxes whose uplink has the most
-                // free bandwidth; ties to the lower id.
-                work.sorts += 1;
-                work.links_scanned += boxes.len() as u64;
-                let mut sorted: Vec<BoxId> = boxes.to_vec();
-                sorted.sort_by(|&a, &b| {
-                    net.box_uplink_free_mbps(b)
-                        .cmp(&net.box_uplink_free_mbps(a))
-                        .then(a.cmp(&b))
-                });
-                sorted.into_iter().find(|&b| {
-                    work.boxes_scanned += 1;
-                    cluster.available(b) >= units
-                })
-            }
-        }
-    };
+    let mk = cluster.config().box_mix.of(kind) as u64;
+    let racks = cluster.num_racks();
+    let home_allowed = restrict.is_none_or(|sr| sr.allows(home, kind));
 
     // Distance 0: the home rack.
-    if let Some(b) = box_in_rack(home, work) {
-        return Some(b);
+    work.racks_scanned += 1;
+    if home_allowed {
+        let found = match order {
+            NeighborOrder::ById => id_order_box_in_rack(cluster, home, kind, units, work),
+            NeighborOrder::ByBandwidthDesc => {
+                bw_order_box_in_rack(cluster, net, home, kind, units, work, scratch)
+            }
+        };
+        if found.is_some() {
+            return found;
+        }
     }
+
     // Distance 1: every other rack (two-tier topology ⇒ all equidistant).
-    let mut others: Vec<RackId> = (0..cluster.num_racks())
-        .map(RackId)
-        .filter(|&r| r != home)
-        .collect();
-    if order == NeighborOrder::ByBandwidthDesc {
-        work.sorts += 1;
-        work.links_scanned += others.len() as u64;
-        others.sort_by(|&a, &b| {
-            net.rack_uplink_free_mbps(b)
-                .cmp(&net.rack_uplink_free_mbps(a))
-                .then(a.cmp(&b))
-        });
+    match order {
+        NeighborOrder::ById => {
+            // Walk only the racks the index proves can fit; charge skipped
+            // racks what the naive in-order scan would have cost (one rack
+            // check each, a full box list for allowed racks).
+            let mut from = 0u16;
+            loop {
+                let next = cluster.next_rack_with_fit(kind, units, from);
+                let stop = next.map_or(racks, |r| r.0);
+                work.racks_scanned +=
+                    (stop - from) as u64 - u64::from((from..stop).contains(&home.0));
+                work.boxes_scanned += mk * allowed_in_window(restrict, kind, from, stop, home);
+                let rack = next?;
+                if rack == home {
+                    from = rack.0 + 1;
+                    if from >= racks {
+                        return None;
+                    }
+                    continue;
+                }
+                work.racks_scanned += 1;
+                if restrict.is_none_or(|sr| sr.allows(rack, kind)) {
+                    let b = id_order_box_in_rack(cluster, rack, kind, units, work);
+                    debug_assert!(b.is_some(), "rack max admits a fit");
+                    return b;
+                }
+                from = rack.0 + 1;
+                if from >= racks {
+                    return None;
+                }
+            }
+        }
+        NeighborOrder::ByBandwidthDesc => {
+            // The naive walk sorts every other rack by free uplink
+            // bandwidth first; the incremental ordering replaces the sort,
+            // but the cost model still charges it.
+            work.sorts += 1;
+            work.links_scanned += racks.saturating_sub(1) as u64;
+            for rack in net.racks_by_free_bw_desc() {
+                if rack == home {
+                    continue;
+                }
+                work.racks_scanned += 1;
+                if let Some(sr) = restrict {
+                    if !sr.allows(rack, kind) {
+                        continue;
+                    }
+                }
+                if let Some(b) =
+                    bw_order_box_in_rack(cluster, net, rack, kind, units, work, scratch)
+                {
+                    return Some(b);
+                }
+            }
+            None
+        }
     }
-    others.into_iter().find_map(|r| box_in_rack(r, work))
 }
 
 /// Algorithm 2 in full: compute phase + network phase, dropping on failure.
 ///
 /// `restrict` limits each kind's candidate boxes to the SUPER_RACK's racks
 /// (RISA's fallback path); `None` is the plain NULB/NALB behaviour.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's parameter list
 pub(crate) fn nulb_schedule(
     cluster: &mut Cluster,
     net: &mut NetworkState,
@@ -200,13 +345,13 @@ pub(crate) fn nulb_schedule(
     restrict: Option<&SuperRack>,
     params: NulbParams,
     work: &mut WorkCounters,
+    scratch: &mut Scratch,
 ) -> Result<VmAssignment, DropReason> {
     // 1. Most scarce resource by contention ratio.
     let scarce = most_contended_counted(cluster, demand, restrict, work);
 
     // 2. First box satisfying the scarce demand.
-    let Some(primary) =
-        first_box_of_kind(cluster, scarce, demand.get(scarce), restrict, work)
+    let Some(primary) = first_box_of_kind(cluster, scarce, demand.get(scarce), restrict, work)
     else {
         return Err(DropReason::Compute);
     };
@@ -234,6 +379,7 @@ pub(crate) fn nulb_schedule(
             restrict,
             params.neighbor_order,
             work,
+            scratch,
         ) else {
             return Err(DropReason::Compute);
         };
@@ -251,7 +397,14 @@ pub(crate) fn nulb_schedule(
     let cpu_box = placement.grant(ResourceKind::Cpu).box_id;
     let ram_box = placement.grant(ResourceKind::Ram).box_id;
     let sto_box = placement.grant(ResourceKind::Storage).box_id;
-    match net.alloc_vm(cluster, cpu_box, ram_box, sto_box, flows, params.link_policy) {
+    match net.alloc_vm(
+        cluster,
+        cpu_box,
+        ram_box,
+        sto_box,
+        flows,
+        params.link_policy,
+    ) {
         Ok(network) => {
             let intra_rack = placement.is_intra_rack(cluster);
             Ok(VmAssignment {
@@ -293,7 +446,17 @@ mod tests {
         let mut n = net_for(&c);
         let d = toy::typical_vm_demand(&c);
         let f = flows(&c, &d);
-        let a = nulb_schedule(&mut c, &mut n, &d, &f, None, NulbParams::nulb(), &mut WorkCounters::new()).unwrap();
+        let a = nulb_schedule(
+            &mut c,
+            &mut n,
+            &d,
+            &f,
+            None,
+            NulbParams::nulb(),
+            &mut WorkCounters::new(),
+            &mut Scratch::default(),
+        )
+        .unwrap();
         let ids = toy::table3_ids();
         assert_eq!(a.placement.grant(ResourceKind::Cpu).box_id, ids.cpu[2]);
         assert_eq!(a.placement.grant(ResourceKind::Ram).box_id, ids.ram[1]);
@@ -309,7 +472,17 @@ mod tests {
         let mut n = net_for(&c);
         let d = toy::typical_vm_demand(&c);
         let f = flows(&c, &d);
-        let a = nulb_schedule(&mut c, &mut n, &d, &f, None, NulbParams::nalb(), &mut WorkCounters::new()).unwrap();
+        let a = nulb_schedule(
+            &mut c,
+            &mut n,
+            &d,
+            &f,
+            None,
+            NulbParams::nalb(),
+            &mut WorkCounters::new(),
+            &mut Scratch::default(),
+        )
+        .unwrap();
         assert!(!a.intra_rack);
     }
 
@@ -320,7 +493,17 @@ mod tests {
         // More RAM than any single box has free (max 8 units).
         let d = UnitDemand::new(1, 9, 1);
         let f = flows(&c, &d);
-        let err = nulb_schedule(&mut c, &mut n, &d, &f, None, NulbParams::nulb(), &mut WorkCounters::new()).unwrap_err();
+        let err = nulb_schedule(
+            &mut c,
+            &mut n,
+            &d,
+            &f,
+            None,
+            NulbParams::nulb(),
+            &mut WorkCounters::new(),
+            &mut Scratch::default(),
+        )
+        .unwrap_err();
         assert_eq!(err, DropReason::Compute);
         c.check_invariants().unwrap();
         assert_eq!(n.intra_used_mbps(), 0, "failed compute leaks no bandwidth");
@@ -349,7 +532,17 @@ mod tests {
             }
         }
         let before = c.total_available(ResourceKind::Cpu);
-        let err = nulb_schedule(&mut c, &mut n, &d, &f, None, NulbParams::nulb(), &mut WorkCounters::new()).unwrap_err();
+        let err = nulb_schedule(
+            &mut c,
+            &mut n,
+            &d,
+            &f,
+            None,
+            NulbParams::nulb(),
+            &mut WorkCounters::new(),
+            &mut Scratch::default(),
+        )
+        .unwrap_err();
         assert_eq!(err, DropReason::Network);
         assert_eq!(
             c.total_available(ResourceKind::Cpu),
@@ -364,7 +557,17 @@ mod tests {
         let mut n = net_for(&c);
         let d = UnitDemand::new(2, 4, 2);
         let f = flows(&c, &d);
-        let a = nulb_schedule(&mut c, &mut n, &d, &f, None, NulbParams::nulb(), &mut WorkCounters::new()).unwrap();
+        let a = nulb_schedule(
+            &mut c,
+            &mut n,
+            &d,
+            &f,
+            None,
+            NulbParams::nulb(),
+            &mut WorkCounters::new(),
+            &mut Scratch::default(),
+        )
+        .unwrap();
         assert!(a.intra_rack, "pristine cluster: BFS finds home-rack boxes");
     }
 
@@ -375,10 +578,7 @@ mod tests {
         let sr = SuperRack::build(&c, &d);
         // Rack 0 has no CPU and no storage for the typical VM; rack 1 all.
         assert_eq!(sr.racks_for(ResourceKind::Cpu), &[RackId(1)]);
-        assert_eq!(
-            sr.racks_for(ResourceKind::Ram),
-            &[RackId(0), RackId(1)]
-        );
+        assert_eq!(sr.racks_for(ResourceKind::Ram), &[RackId(0), RackId(1)]);
         assert_eq!(sr.racks_for(ResourceKind::Storage), &[RackId(1)]);
         assert!(sr.allows(RackId(0), ResourceKind::Ram));
         assert!(!sr.allows(RackId(0), ResourceKind::Cpu));
@@ -402,7 +602,17 @@ mod tests {
         let tight = UnitDemand::new(2, 8, 2);
         let sr = SuperRack::build(&c, &tight);
         assert_eq!(sr.racks_for(ResourceKind::Ram), &[RackId(1)]);
-        let a = nulb_schedule(&mut c, &mut n, &d, &f, Some(&sr), NulbParams::nulb(), &mut WorkCounters::new()).unwrap();
+        let a = nulb_schedule(
+            &mut c,
+            &mut n,
+            &d,
+            &f,
+            Some(&sr),
+            NulbParams::nulb(),
+            &mut WorkCounters::new(),
+            &mut Scratch::default(),
+        )
+        .unwrap();
         // With rack 0 excluded for RAM, everything lands in rack 1.
         assert!(a.intra_rack);
     }
@@ -429,7 +639,17 @@ mod tests {
             .unwrap();
         n.alloc_flow(&c, BoxId(8), BoxId(24), 150_000, LinkPolicy::FirstFit)
             .unwrap();
-        let a = nulb_schedule(&mut c, &mut n, &d, &f, None, NulbParams::nalb(), &mut WorkCounters::new()).unwrap();
+        let a = nulb_schedule(
+            &mut c,
+            &mut n,
+            &d,
+            &f,
+            None,
+            NulbParams::nalb(),
+            &mut WorkCounters::new(),
+            &mut Scratch::default(),
+        )
+        .unwrap();
         let cpu_rack = c.rack_of(a.placement.grant(ResourceKind::Cpu).box_id);
         assert_eq!(
             cpu_rack,
@@ -442,7 +662,17 @@ mod tests {
         c2.force_available(BoxId(0), 0);
         c2.force_available(BoxId(1), 0);
         let mut n2 = net_for(&c2);
-        let a2 = nulb_schedule(&mut c2, &mut n2, &d, &f, None, NulbParams::nulb(), &mut WorkCounters::new()).unwrap();
+        let a2 = nulb_schedule(
+            &mut c2,
+            &mut n2,
+            &d,
+            &f,
+            None,
+            NulbParams::nulb(),
+            &mut WorkCounters::new(),
+            &mut Scratch::default(),
+        )
+        .unwrap();
         assert_eq!(
             c2.rack_of(a2.placement.grant(ResourceKind::Cpu).box_id),
             RackId(1)
@@ -455,7 +685,17 @@ mod tests {
         let mut n = net_for(&c);
         let d = UnitDemand::ZERO;
         let f = flows(&c, &d);
-        let a = nulb_schedule(&mut c, &mut n, &d, &f, None, NulbParams::nulb(), &mut WorkCounters::new()).unwrap();
+        let a = nulb_schedule(
+            &mut c,
+            &mut n,
+            &d,
+            &f,
+            None,
+            NulbParams::nulb(),
+            &mut WorkCounters::new(),
+            &mut Scratch::default(),
+        )
+        .unwrap();
         assert!(a.intra_rack);
         assert_eq!(a.network.total_mbps(), 0);
     }

@@ -17,7 +17,7 @@
 //!    `SUPER_RACK` and fall back to NULB restricted to it.
 
 use crate::algorithm::{DropReason, VmAssignment};
-use crate::nulb::{nulb_schedule, NulbParams, SuperRack};
+use crate::nulb::{nulb_schedule, NulbParams, Scratch, SuperRack};
 use crate::work::WorkCounters;
 use risa_network::{FlowDemands, LinkPolicy, NetworkState};
 use risa_topology::{
@@ -36,9 +36,6 @@ pub(crate) struct RisaState {
     box_cursor: Vec<[usize; 3]>,
     /// Best-fit box selection (RISA-BF) instead of next-fit (RISA).
     best_fit: bool,
-    /// Reusable pool buffer (hot path: one INTRA_RACK_POOL per VM).
-    #[serde(skip)]
-    pool_buf: Vec<RackId>,
 }
 
 impl RisaState {
@@ -47,11 +44,12 @@ impl RisaState {
             rr_cursor: 0,
             box_cursor: vec![[0; 3]; cluster.num_racks() as usize],
             best_fit,
-            pool_buf: Vec::with_capacity(cluster.num_racks() as usize),
         }
     }
 
-    /// Pick a box for `kind` within `rack`.
+    /// Pick a box for `kind` within `rack`. The returned position only
+    /// feeds the next-fit cursor; best-fit (which never commits cursors)
+    /// reports 0.
     fn pick_box(
         &self,
         cluster: &Cluster,
@@ -63,14 +61,12 @@ impl RisaState {
         let boxes = cluster.boxes_in_rack(rack, kind);
         if self.best_fit {
             // Best-fit: the box with the least availability that still
-            // fits; ties to the lower id (list is id-ascending).
+            // fits; ties to the lower id. Served by the placement index's
+            // sorted availability set in O(log); the counter keeps the
+            // naive full-rack-scan cost model.
             work.boxes_scanned += boxes.len() as u64;
-            boxes
-                .iter()
-                .enumerate()
-                .filter(|(_, &b)| cluster.available(b) >= units)
-                .min_by_key(|(_, &b)| cluster.available(b))
-                .map(|(pos, &b)| (b, pos))
+            let b = cluster.best_fit_in_rack(rack, kind, units)?;
+            Some((b, 0))
         } else {
             // Next-fit: scan from the cursor (inclusive), wrapping.
             let start = self.box_cursor[rack.0 as usize][kind.index()].min(boxes.len() - 1);
@@ -131,8 +127,7 @@ impl RisaState {
                 if !self.best_fit {
                     // Commit the next-fit cursors to the chosen boxes.
                     for kind in ALL_RESOURCES {
-                        self.box_cursor[rack.0 as usize][kind.index()] =
-                            positions[kind.index()];
+                        self.box_cursor[rack.0 as usize][kind.index()] = positions[kind.index()];
                     }
                 }
                 Some(VmAssignment {
@@ -151,6 +146,16 @@ impl RisaState {
         }
     }
 
+    /// Next `INTRA_RACK_POOL` member at or after `from`, wrapping once.
+    /// Live successor queries over the placement index replace the seed's
+    /// per-VM pool vector; failed `try_rack` attempts roll every mutation
+    /// back, so the live query sees exactly the snapshot the seed built.
+    fn pool_rack_from(&self, cluster: &Cluster, demand: &UnitDemand, from: u16) -> Option<RackId> {
+        cluster
+            .next_pool_rack(demand, from)
+            .or_else(|| cluster.next_pool_rack(demand, 0))
+    }
+
     /// Algorithm 1 / 3 for one VM.
     pub(crate) fn schedule(
         &mut self,
@@ -159,33 +164,27 @@ impl RisaState {
         demand: &UnitDemand,
         flows: &FlowDemands,
         work: &mut WorkCounters,
+        scratch: &mut Scratch,
     ) -> Result<VmAssignment, DropReason> {
-        // Build INTRA_RACK_POOL into the reusable buffer (O(racks) via the
-        // cached per-rack maxima — RISA's §4.2 tracking structure).
+        // The seed built INTRA_RACK_POOL with an O(racks) membership scan
+        // per VM; the counter keeps charging that §4.2 cost model while
+        // the successor queries below answer in O(log racks).
         work.racks_scanned += cluster.num_racks() as u64;
-        let mut pool = std::mem::take(&mut self.pool_buf);
-        pool.clear();
-        pool.extend(
-            (0..cluster.num_racks())
-                .map(RackId)
-                .filter(|&r| cluster.rack_fits(r, demand)),
-        );
-        if !pool.is_empty() {
-            // Round-robin: start at the first pool rack ≥ the cursor.
-            let start = pool
-                .iter()
-                .position(|r| r.0 >= self.rr_cursor)
-                .unwrap_or(0);
-            for i in 0..pool.len() {
-                let rack = pool[(start + i) % pool.len()];
+        // Round-robin: start at the first pool rack ≥ the cursor (wrapping
+        // to the lowest pool rack), then visit each pool member once.
+        if let Some(first) = self.pool_rack_from(cluster, demand, self.rr_cursor) {
+            let mut rack = first;
+            loop {
                 if let Some(a) = self.try_rack(cluster, net, rack, demand, flows, work) {
                     self.rr_cursor = (rack.0 + 1) % cluster.num_racks();
-                    self.pool_buf = pool;
                     return Ok(a);
+                }
+                match self.pool_rack_from(cluster, demand, rack.0 + 1) {
+                    Some(next) if next != first => rack = next,
+                    _ => break, // wrapped through the whole pool
                 }
             }
         }
-        self.pool_buf = pool;
         // Fallback: SUPER_RACK + NULB (Alg. 1's else branch).
         work.racks_scanned += cluster.num_racks() as u64;
         let sr = SuperRack::build(cluster, demand);
@@ -200,6 +199,7 @@ impl RisaState {
             Some(&sr),
             NulbParams::nulb(),
             work,
+            scratch,
         )
         .map(|mut a| {
             a.used_fallback = true;
@@ -240,7 +240,16 @@ mod tests {
         let mut n = net_for(&c);
         let d = toy::typical_vm_demand(&c);
         let mut s = RisaState::new(&c, false);
-        let a = s.schedule(&mut c, &mut n, &d, &flows(&d), &mut WorkCounters::new()).unwrap();
+        let a = s
+            .schedule(
+                &mut c,
+                &mut n,
+                &d,
+                &flows(&d),
+                &mut WorkCounters::new(),
+                &mut Scratch::default(),
+            )
+            .unwrap();
         let ids = toy::table3_ids();
         assert!(a.intra_rack);
         assert!(!a.used_fallback);
@@ -261,7 +270,14 @@ mod tests {
         let mut trace: Vec<Option<u8>> = vec![];
         for cores in toy::TABLE4_CPU_REQUESTS {
             let d = UnitDemand::from_natural(&c.config().units, cores, 0, 0);
-            match s.schedule(&mut c, &mut n, &d, &no_flows(), &mut WorkCounters::new()) {
+            match s.schedule(
+                &mut c,
+                &mut n,
+                &d,
+                &no_flows(),
+                &mut WorkCounters::new(),
+                &mut Scratch::default(),
+            ) {
                 Ok(a) => {
                     let b = a.placement.grant(ResourceKind::Cpu).box_id;
                     let idx = if b == ids.cpu[2] {
@@ -304,7 +320,14 @@ mod tests {
         let mut trace: Vec<Option<u8>> = vec![];
         for cores in toy::TABLE4_CPU_REQUESTS {
             let d = UnitDemand::from_natural(&c.config().units, cores, 0, 0);
-            match s.schedule(&mut c, &mut n, &d, &no_flows(), &mut WorkCounters::new()) {
+            match s.schedule(
+                &mut c,
+                &mut n,
+                &d,
+                &no_flows(),
+                &mut WorkCounters::new(),
+                &mut Scratch::default(),
+            ) {
                 Ok(a) => {
                     let b = a.placement.grant(ResourceKind::Cpu).box_id;
                     trace.push(Some(u8::from(b == ids.cpu[3])));
@@ -340,7 +363,15 @@ mod tests {
             let mut s = RisaState::new(&c, best_fit);
             for cores in &toy::TABLE4_CPU_REQUESTS[..6] {
                 let d = UnitDemand::from_natural(&c.config().units, *cores, 0, 0);
-                s.schedule(&mut c, &mut n, &d, &no_flows(), &mut WorkCounters::new()).unwrap();
+                s.schedule(
+                    &mut c,
+                    &mut n,
+                    &d,
+                    &no_flows(),
+                    &mut WorkCounters::new(),
+                    &mut Scratch::default(),
+                )
+                .unwrap();
             }
             let ids = toy::table3_ids();
             vec![c.available(ids.cpu[2]), c.available(ids.cpu[3])]
@@ -361,14 +392,32 @@ mod tests {
         let d = UnitDemand::new(2, 4, 2);
         let mut racks = vec![];
         for _ in 0..18 {
-            let a = s.schedule(&mut c, &mut n, &d, &flows(&d), &mut WorkCounters::new()).unwrap();
+            let a = s
+                .schedule(
+                    &mut c,
+                    &mut n,
+                    &d,
+                    &flows(&d),
+                    &mut WorkCounters::new(),
+                    &mut Scratch::default(),
+                )
+                .unwrap();
             racks.push(c.rack_of(a.placement.grant(ResourceKind::Cpu).box_id));
         }
         // Every rack used exactly once before any repeats.
         let expected: Vec<RackId> = (0..18).map(RackId).collect();
         assert_eq!(racks, expected);
         // The 19th wraps back to rack 0.
-        let a = s.schedule(&mut c, &mut n, &d, &flows(&d), &mut WorkCounters::new()).unwrap();
+        let a = s
+            .schedule(
+                &mut c,
+                &mut n,
+                &d,
+                &flows(&d),
+                &mut WorkCounters::new(),
+                &mut Scratch::default(),
+            )
+            .unwrap();
         assert_eq!(
             c.rack_of(a.placement.grant(ResourceKind::Cpu).box_id),
             RackId(0)
@@ -386,20 +435,38 @@ mod tests {
         let ids = toy::table3_ids();
         c.force_available(ids.cpu[2], 1); // rack1 box0: 1 unit
         c.force_available(ids.cpu[3], 2); // rack1 box1: 2 units
-        // Pool: rack needs cpu>=2 (rack1 box1 ok), ram>=4 (rack1 ok),
-        // sto>=2 (rack1 ok) → pool=[rack1]. Drain storage to kill the pool.
+                                          // Pool: rack needs cpu>=2 (rack1 box1 ok), ram>=4 (rack1 ok),
+                                          // sto>=2 (rack1 ok) → pool=[rack1]. Drain storage to kill the pool.
         c.force_available(ids.sto[2], 1);
         c.force_available(ids.sto[3], 1);
         let d = UnitDemand::new(2, 4, 2);
         let mut s = RisaState::new(&c, false);
         // No rack can host storage 2u in one box → SUPER_RACK infeasible.
-        let err = s.schedule(&mut c, &mut n, &d, &flows(&d), &mut WorkCounters::new()).unwrap_err();
+        let err = s
+            .schedule(
+                &mut c,
+                &mut n,
+                &d,
+                &flows(&d),
+                &mut WorkCounters::new(),
+                &mut Scratch::default(),
+            )
+            .unwrap_err();
         assert_eq!(err, DropReason::Compute);
 
         // Give rack 0 storage back: pool still empty (rack0 lacks CPU),
         // but SUPER_RACK is feasible → inter-rack fallback assignment.
         c.force_available(ids.sto[0], 8);
-        let a = s.schedule(&mut c, &mut n, &d, &flows(&d), &mut WorkCounters::new()).unwrap();
+        let a = s
+            .schedule(
+                &mut c,
+                &mut n,
+                &d,
+                &flows(&d),
+                &mut WorkCounters::new(),
+                &mut Scratch::default(),
+            )
+            .unwrap();
         assert!(a.used_fallback);
         assert!(!a.intra_rack, "CPU in rack 1, storage only in rack 0");
     }
@@ -419,7 +486,16 @@ mod tests {
         }
         let d = UnitDemand::new(2, 4, 2);
         let mut s = RisaState::new(&c, false);
-        let a = s.schedule(&mut c, &mut n, &d, &flows(&d), &mut WorkCounters::new()).unwrap();
+        let a = s
+            .schedule(
+                &mut c,
+                &mut n,
+                &d,
+                &flows(&d),
+                &mut WorkCounters::new(),
+                &mut Scratch::default(),
+            )
+            .unwrap();
         assert!(a.intra_rack);
         assert_eq!(
             c.rack_of(a.placement.grant(ResourceKind::Cpu).box_id),

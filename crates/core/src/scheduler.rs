@@ -1,7 +1,7 @@
 //! The unified scheduler front-end dispatching to NULB/NALB/RISA/RISA-BF.
 
 use crate::algorithm::{Algorithm, ScheduleOutcome, VmAssignment};
-use crate::nulb::{nulb_schedule, NulbParams};
+use crate::nulb::{nulb_schedule, NulbParams, Scratch};
 use crate::risa::RisaState;
 use crate::work::WorkCounters;
 use risa_network::{FlowDemands, NetworkState};
@@ -16,6 +16,10 @@ pub struct Scheduler {
     algo: Algorithm,
     risa: RisaState,
     work: WorkCounters,
+    /// Reusable sort buffers (NALB's within-rack ordering); scratch state,
+    /// excluded from serialization.
+    #[serde(skip)]
+    scratch: Scratch,
 }
 
 impl Scheduler {
@@ -25,6 +29,7 @@ impl Scheduler {
             algo,
             risa: RisaState::new(cluster, algo == Algorithm::RisaBf),
             work: WorkCounters::new(),
+            scratch: Scratch::default(),
         }
     }
 
@@ -77,6 +82,7 @@ impl Scheduler {
                 None,
                 NulbParams::nulb(),
                 &mut self.work,
+                &mut self.scratch,
             ),
             Algorithm::Nalb => nulb_schedule(
                 cluster,
@@ -86,11 +92,16 @@ impl Scheduler {
                 None,
                 NulbParams::nalb(),
                 &mut self.work,
+                &mut self.scratch,
             ),
-            Algorithm::Risa | Algorithm::RisaBf => {
-                self.risa
-                    .schedule(cluster, net, demand, flows, &mut self.work)
-            }
+            Algorithm::Risa | Algorithm::RisaBf => self.risa.schedule(
+                cluster,
+                net,
+                demand,
+                flows,
+                &mut self.work,
+                &mut self.scratch,
+            ),
         };
         match result {
             Ok(a) => ScheduleOutcome::Assigned(a),

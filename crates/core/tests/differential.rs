@@ -1,0 +1,144 @@
+//! Differential verification: the index-backed schedulers must make the
+//! *identical* decisions the seed's naive scan-based implementations made
+//! — same box grants, same link choices, same drop reasons, and the same
+//! deterministic work counters (the Figure 11/12 cost model) — over
+//! randomized schedule/release histories, on the paper topology and on a
+//! 10× cluster.
+
+use proptest::prelude::*;
+use risa_network::{NetworkConfig, NetworkState};
+use risa_sched::oracle::OracleScheduler;
+use risa_sched::{Algorithm, ScheduleOutcome, Scheduler};
+use risa_topology::{Cluster, TopologyConfig, UnitDemand};
+
+/// One step of a history: schedule a fresh VM, or release the n-th oldest
+/// still-resident one.
+#[derive(Debug, Clone)]
+enum Step {
+    Schedule(UnitDemand),
+    Release(usize),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        // Paper-realistic single-box demands (synthetic ≤ 8/8/2 units,
+        // Azure RAM up to 14); occasional zero components stress edge
+        // handling.
+        (0u32..=8, 0u32..=14, 0u32..=2)
+            .prop_map(|(c, r, s)| Step::Schedule(UnitDemand::new(c, r, s))),
+        (0usize..32).prop_map(Step::Release),
+    ]
+}
+
+fn scaled(racks: u16) -> TopologyConfig {
+    TopologyConfig {
+        racks,
+        ..TopologyConfig::paper()
+    }
+}
+
+/// Drive the same history through the production scheduler and the oracle
+/// on independent state, asserting lock-step equality.
+fn run_differential(
+    cfg: TopologyConfig,
+    algo: Algorithm,
+    steps: &[Step],
+) -> Result<(), TestCaseError> {
+    let mut cluster = Cluster::new(cfg);
+    let mut net = NetworkState::new(NetworkConfig::paper(), &cluster);
+    let mut sched = Scheduler::new(algo, &cluster);
+
+    let mut cluster_o = Cluster::new(cfg);
+    let mut net_o = NetworkState::new(NetworkConfig::paper(), &cluster_o);
+    let mut oracle = OracleScheduler::new(algo, &cluster_o);
+
+    let mut held = Vec::new();
+    for (i, step) in steps.iter().enumerate() {
+        match step {
+            Step::Schedule(demand) => {
+                let ours = sched.schedule(&mut cluster, &mut net, demand);
+                let theirs = oracle.schedule(&mut cluster_o, &mut net_o, demand);
+                prop_assert_eq!(
+                    &ours,
+                    &theirs,
+                    "step {} ({}, {:?}): index and oracle diverged",
+                    i,
+                    algo,
+                    demand
+                );
+                if let ScheduleOutcome::Assigned(a) = ours {
+                    held.push(a);
+                }
+            }
+            Step::Release(n) => {
+                if held.is_empty() {
+                    continue;
+                }
+                let a = held.remove(n % held.len());
+                Scheduler::release(&mut cluster, &mut net, &a);
+                Scheduler::release(&mut cluster_o, &mut net_o, &a);
+            }
+        }
+        prop_assert_eq!(
+            sched.work(),
+            oracle.work(),
+            "step {} ({}): work-counter cost models diverged",
+            i,
+            algo
+        );
+    }
+    cluster.check_invariants().map_err(TestCaseError::fail)?;
+    net.check_invariants().map_err(TestCaseError::fail)?;
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Paper topology (18 racks), all four algorithms.
+    #[test]
+    fn index_matches_oracle_on_paper_topology(
+        steps in prop::collection::vec(step_strategy(), 1..120),
+        algo_idx in 0usize..4,
+    ) {
+        run_differential(TopologyConfig::paper(), Algorithm::ALL[algo_idx], &steps)?;
+    }
+
+    /// 10× topology (180 racks): the same lock-step equality must hold at
+    /// the scale the index exists for.
+    #[test]
+    fn index_matches_oracle_on_10x_topology(
+        steps in prop::collection::vec(step_strategy(), 1..80),
+        algo_idx in 0usize..4,
+    ) {
+        run_differential(scaled(180), Algorithm::ALL[algo_idx], &steps)?;
+    }
+}
+
+/// A deterministic overload run: drive the paper cluster into saturation
+/// (forcing drops and fallbacks) and compare the full outcome streams.
+#[test]
+fn saturation_histories_stay_identical() {
+    for algo in Algorithm::ALL {
+        let cfg = TopologyConfig::paper();
+        let mut cluster = Cluster::new(cfg);
+        let mut net = NetworkState::new(NetworkConfig::paper(), &cluster);
+        let mut sched = Scheduler::new(algo, &cluster);
+        let mut cluster_o = Cluster::new(cfg);
+        let mut net_o = NetworkState::new(NetworkConfig::paper(), &cluster_o);
+        let mut oracle = OracleScheduler::new(algo, &cluster_o);
+
+        let mut drops = 0;
+        for i in 0..1500u32 {
+            let d = risa_sched::cycle::paper_mix_demand(i);
+            let ours = sched.schedule(&mut cluster, &mut net, &d);
+            let theirs = oracle.schedule(&mut cluster_o, &mut net_o, &d);
+            assert_eq!(ours, theirs, "{algo} diverged at VM {i}");
+            if !ours.is_assigned() {
+                drops += 1;
+            }
+        }
+        assert_eq!(sched.work(), oracle.work(), "{algo}: cost models diverged");
+        assert!(drops > 0, "{algo}: saturation run should drop some VMs");
+    }
+}

@@ -309,10 +309,7 @@ mod tests {
         for i in 0..10 {
             sim.schedule(SimTime::from_units(i as f64), ToyEvent::Arrive(i));
         }
-        assert_eq!(
-            sim.run_until(SimTime::MAX, 3),
-            RunOutcome::BudgetExhausted
-        );
+        assert_eq!(sim.run_until(SimTime::MAX, 3), RunOutcome::BudgetExhausted);
         assert_eq!(sim.dispatched(), 3);
     }
 

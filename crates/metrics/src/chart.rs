@@ -130,11 +130,7 @@ mod tests {
         c.bar("x", 1.0);
         c.bar("longer-label", 2.0);
         let s = c.render();
-        let pipes: Vec<usize> = s
-            .lines()
-            .skip(1)
-            .map(|l| l.find('|').unwrap())
-            .collect();
+        let pipes: Vec<usize> = s.lines().skip(1).map(|l| l.find('|').unwrap()).collect();
         assert_eq!(pipes[0], pipes[1]);
     }
 

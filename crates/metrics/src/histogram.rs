@@ -29,7 +29,11 @@ impl HistogramSpec {
     pub fn from_data(data: &[f64], bins: usize) -> Self {
         let lo = data.iter().copied().fold(f64::INFINITY, f64::min);
         let hi = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        let (lo, hi) = if data.is_empty() { (0.0, 1.0) } else { (lo, hi) };
+        let (lo, hi) = if data.is_empty() {
+            (0.0, 1.0)
+        } else {
+            (lo, hi)
+        };
         HistogramSpec { lo, hi, bins }
     }
 

@@ -65,7 +65,7 @@ mod tests {
         let d = demands(8, 8, 2);
         assert_eq!(d.cpu_ram_mbps, 40_000); // 5 Gb/s x 8
         assert_eq!(d.ram_sto_mbps, 8_000); // 1 Gb/s x 8
-        // Both flows fit one 200 Gb/s link with room to spare.
+                                           // Both flows fit one 200 Gb/s link with room to spare.
         assert!(d.ram_box_mbps() < 200_000);
     }
 

@@ -5,6 +5,8 @@ use crate::demand::FlowDemands;
 use crate::trunk::{Trunk, TrunkId};
 use risa_topology::{BoxId, Cluster, RackId};
 use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BTreeSet;
 
 /// How a link is chosen within a trunk — the paper's §4.1 distinction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -83,27 +85,44 @@ impl std::fmt::Display for NetError {
 
 impl std::error::Error for NetError {}
 
-/// The mutable network: one trunk per box and one per rack.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// The mutable network: one trunk per box and one per rack, plus an
+/// incrementally-maintained ordering of racks by free uplink bandwidth —
+/// the structure that lets NALB's "modified BFS" read its neighbour order
+/// instead of re-sorting every rack per probe.
+#[derive(Debug, Clone)]
 pub struct NetworkState {
     cfg: NetworkConfig,
     box_trunks: Vec<Trunk>,
     rack_trunks: Vec<Trunk>,
+    /// `(free_mbps, Reverse(rack))` ascending, so reverse iteration yields
+    /// NALB's neighbour order: descending bandwidth, ties to the lower id.
+    rack_bw: BTreeSet<(u64, Reverse<u16>)>,
 }
 
 impl NetworkState {
     /// Build a pristine network mirroring `cluster`'s boxes and racks.
     pub fn new(cfg: NetworkConfig, cluster: &Cluster) -> Self {
         cfg.validate().expect("invalid network configuration");
+        let rack_trunks: Vec<Trunk> = (0..cluster.num_racks())
+            .map(|_| Trunk::new(cfg.rack_uplink_width, cfg.link_mbps))
+            .collect();
+        let rack_bw = Self::build_rack_bw(&rack_trunks);
         NetworkState {
             box_trunks: (0..cluster.num_boxes())
                 .map(|_| Trunk::new(cfg.box_uplink_width, cfg.link_mbps))
                 .collect(),
-            rack_trunks: (0..cluster.num_racks())
-                .map(|_| Trunk::new(cfg.rack_uplink_width, cfg.link_mbps))
-                .collect(),
+            rack_trunks,
+            rack_bw,
             cfg,
         }
+    }
+
+    fn build_rack_bw(rack_trunks: &[Trunk]) -> BTreeSet<(u64, Reverse<u16>)> {
+        rack_trunks
+            .iter()
+            .enumerate()
+            .map(|(r, t)| (t.free_mbps(), Reverse(r as u16)))
+            .collect()
     }
 
     /// The configuration in force.
@@ -119,11 +138,47 @@ impl NetworkState {
         }
     }
 
-    fn trunk_mut(&mut self, id: TrunkId) -> &mut Trunk {
+    /// Reserve on one link of one trunk, keeping the rack-bandwidth
+    /// ordering coherent. Every mutation funnels through here or
+    /// [`NetworkState::trunk_give`].
+    fn trunk_take(&mut self, id: TrunkId, link: usize, mbps: u64) -> bool {
         match id {
-            TrunkId::BoxUplink(b) => &mut self.box_trunks[b as usize],
-            TrunkId::RackUplink(r) => &mut self.rack_trunks[r as usize],
+            TrunkId::BoxUplink(b) => self.box_trunks[b as usize].take(link, mbps),
+            TrunkId::RackUplink(r) => {
+                let trunk = &mut self.rack_trunks[r as usize];
+                let before = trunk.free_mbps();
+                let taken = trunk.take(link, mbps);
+                if taken {
+                    let after = trunk.free_mbps();
+                    self.rack_bw.remove(&(before, Reverse(r)));
+                    self.rack_bw.insert((after, Reverse(r)));
+                }
+                taken
+            }
         }
+    }
+
+    /// Release on one link of one trunk (companion to
+    /// [`NetworkState::trunk_take`]).
+    fn trunk_give(&mut self, id: TrunkId, link: usize, mbps: u64) {
+        match id {
+            TrunkId::BoxUplink(b) => self.box_trunks[b as usize].give(link, mbps),
+            TrunkId::RackUplink(r) => {
+                let trunk = &mut self.rack_trunks[r as usize];
+                let before = trunk.free_mbps();
+                trunk.give(link, mbps);
+                let after = trunk.free_mbps();
+                self.rack_bw.remove(&(before, Reverse(r)));
+                self.rack_bw.insert((after, Reverse(r)));
+            }
+        }
+    }
+
+    /// Racks ordered by descending free uplink bandwidth, ties to the
+    /// lower rack id — NALB's modified-BFS neighbour order, read from the
+    /// incremental ordering instead of sorting per probe.
+    pub fn racks_by_free_bw_desc(&self) -> impl Iterator<Item = RackId> + '_ {
+        self.rack_bw.iter().rev().map(|&(_, Reverse(r))| RackId(r))
     }
 
     /// Total free bandwidth on a box's uplink trunk (NALB's sort key).
@@ -175,14 +230,14 @@ impl NetworkState {
         let (trunks, inter_rack) = Self::path_trunks(cluster, src, dst);
         let mut hops: Vec<HopGrant> = Vec::with_capacity(trunks.len());
         for tid in trunks {
-            let trunk = self.trunk_mut(tid);
+            let trunk = self.trunk(tid);
             let link = match policy {
                 LinkPolicy::FirstFit => trunk.first_fit(mbps),
                 LinkPolicy::MostAvailable => trunk.most_available(mbps),
             };
             match link {
                 Some(i) => {
-                    let taken = trunk.take(i, mbps);
+                    let taken = self.trunk_take(tid, i, mbps);
                     debug_assert!(taken, "selected link was checked to fit");
                     hops.push(HopGrant {
                         trunk: tid,
@@ -192,7 +247,7 @@ impl NetworkState {
                 }
                 None => {
                     for h in &hops {
-                        self.trunk_mut(h.trunk).give(h.link, h.mbps);
+                        self.trunk_give(h.trunk, h.link, h.mbps);
                     }
                     return Err(NetError::InsufficientBandwidth {
                         trunk: tid,
@@ -211,7 +266,7 @@ impl NetworkState {
     /// Return every hop of a flow.
     pub fn release_flow(&mut self, path: &FlowPath) {
         for h in &path.hops {
-            self.trunk_mut(h.trunk).give(h.link, h.mbps);
+            self.trunk_give(h.trunk, h.link, h.mbps);
         }
     }
 
@@ -257,9 +312,8 @@ impl NetworkState {
         demand: &FlowDemands,
     ) -> bool {
         use risa_topology::ResourceKind;
-        let fits = |b: &BoxId, mbps: u64| {
-            self.box_trunks[b.0 as usize].max_link_free_mbps() >= mbps
-        };
+        let fits =
+            |b: &BoxId, mbps: u64| self.box_trunks[b.0 as usize].max_link_free_mbps() >= mbps;
         let cpu_ok = cluster
             .boxes_in_rack(rack, ResourceKind::Cpu)
             .iter()
@@ -327,7 +381,47 @@ impl NetworkState {
                 }
             }
         }
+        for (i, t) in self.box_trunks.iter().chain(&self.rack_trunks).enumerate() {
+            let total: u64 = (0..t.width()).map(|l| t.link_free_mbps(l)).sum();
+            let max = (0..t.width())
+                .map(|l| t.link_free_mbps(l))
+                .max()
+                .unwrap_or(0);
+            if t.free_mbps() != total || t.max_link_free_mbps() != max {
+                return Err(format!("trunk {i}: stale headroom cache"));
+            }
+        }
+        if self.rack_bw != Self::build_rack_bw(&self.rack_trunks) {
+            return Err("rack bandwidth ordering stale".into());
+        }
         Ok(())
+    }
+}
+
+/// The network serializes as configuration plus trunk ledgers; the
+/// rack-bandwidth ordering is derived state rebuilt on load.
+impl Serialize for NetworkState {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("cfg".to_string(), self.cfg.to_value()),
+            ("box_trunks".to_string(), self.box_trunks.to_value()),
+            ("rack_trunks".to_string(), self.rack_trunks.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for NetworkState {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let cfg = NetworkConfig::from_value(serde::value::field(v, "cfg")?)?;
+        let box_trunks = Vec::<Trunk>::from_value(serde::value::field(v, "box_trunks")?)?;
+        let rack_trunks = Vec::<Trunk>::from_value(serde::value::field(v, "rack_trunks")?)?;
+        let rack_bw = Self::build_rack_bw(&rack_trunks);
+        Ok(NetworkState {
+            cfg,
+            box_trunks,
+            rack_trunks,
+            rack_bw,
+        })
     }
 }
 

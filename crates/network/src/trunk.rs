@@ -19,11 +19,17 @@ impl TrunkId {
 }
 
 /// One trunk: `width` independent links, each with its own free-bandwidth
-/// counter in Mb/s.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// counter in Mb/s, plus incrementally-maintained headroom aggregates
+/// (total free, max link free) so schedulers read summaries in O(1)
+/// instead of re-summing links on every probe.
+#[derive(Debug, Clone)]
 pub struct Trunk {
     link_mbps: u64,
     free: Vec<u64>,
+    /// Cached Σ free (kept coherent by `take`/`give`).
+    free_total: u64,
+    /// Cached max over `free` (kept coherent by `take`/`give`).
+    max_free: u64,
 }
 
 impl Trunk {
@@ -32,6 +38,8 @@ impl Trunk {
         Trunk {
             link_mbps,
             free: vec![link_mbps; width as usize],
+            free_total: link_mbps * width as u64,
+            max_free: if width == 0 { 0 } else { link_mbps },
         }
     }
 
@@ -50,9 +58,9 @@ impl Trunk {
         self.link_mbps * self.free.len() as u64
     }
 
-    /// Total free bandwidth across all links.
+    /// Total free bandwidth across all links. O(1) (incremental cache).
     pub fn free_mbps(&self) -> u64 {
-        self.free.iter().sum()
+        self.free_total
     }
 
     /// Total allocated bandwidth.
@@ -66,9 +74,10 @@ impl Trunk {
     }
 
     /// Largest free bandwidth on any single link — what NALB sorts by, and
-    /// what feasibility pre-checks compare flow demands against.
+    /// what feasibility pre-checks compare flow demands against. O(1)
+    /// (incremental cache).
     pub fn max_link_free_mbps(&self) -> u64 {
-        self.free.iter().copied().max().unwrap_or(0)
+        self.max_free
     }
 
     /// Index of the **first** link with at least `mbps` free (NULB/RISA
@@ -96,7 +105,14 @@ impl Trunk {
         if self.free[i] < mbps {
             return false;
         }
+        let was_max = self.free[i] == self.max_free;
         self.free[i] -= mbps;
+        self.free_total -= mbps;
+        if was_max && mbps > 0 {
+            // The previous maximum shrank; rescan the (small, fixed-width)
+            // link vector once. Reads stay O(1).
+            self.max_free = self.free.iter().copied().max().unwrap_or(0);
+        }
         true
     }
 
@@ -104,12 +120,43 @@ impl Trunk {
     /// release path only ever replays recorded grants.
     pub fn give(&mut self, i: usize, mbps: u64) {
         self.free[i] += mbps;
+        self.free_total += mbps;
+        self.max_free = self.max_free.max(self.free[i]);
         debug_assert!(
             self.free[i] <= self.link_mbps,
             "link over-released: {} > {}",
             self.free[i],
             self.link_mbps
         );
+    }
+}
+
+/// Trunks serialize as link capacity plus the per-link free vector; the
+/// headroom caches are rebuilt on load.
+impl Serialize for Trunk {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("link_mbps".to_string(), self.link_mbps.to_value()),
+            ("free".to_string(), self.free.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Trunk {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let link_mbps = u64::from_value(serde::value::field(v, "link_mbps")?)?;
+        let free = Vec::<u64>::from_value(serde::value::field(v, "free")?)?;
+        if let Some((i, &f)) = free.iter().enumerate().find(|&(_, &f)| f > link_mbps) {
+            return Err(serde::Error::new(format!(
+                "link {i} claims {f} Mb/s free of a {link_mbps} Mb/s link"
+            )));
+        }
+        Ok(Trunk {
+            link_mbps,
+            free_total: free.iter().sum(),
+            max_free: free.iter().copied().max().unwrap_or(0),
+            free,
+        })
     }
 }
 

@@ -46,7 +46,10 @@ impl PhotonicsConfig {
             ("p_trim_mw", self.p_trim_mw),
             ("p_sw_mw", self.p_sw_mw),
             ("transceiver_pj_per_bit", self.transceiver_pj_per_bit),
-            ("switch_latency_ns_per_stage", self.switch_latency_ns_per_stage),
+            (
+                "switch_latency_ns_per_stage",
+                self.switch_latency_ns_per_stage,
+            ),
         ] {
             if !v.is_finite() || v < 0.0 {
                 return Err(format!("{name} must be finite and non-negative, got {v}"));

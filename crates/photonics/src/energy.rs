@@ -39,7 +39,10 @@ impl SwitchPath {
     /// Total MRR cells along the whole path (Σ per-switch path cells) —
     /// the `n` of Equation (1).
     pub fn total_path_cells(&self) -> u32 {
-        self.switch_ports.iter().map(|&p| benes::path_cells(p)).sum()
+        self.switch_ports
+            .iter()
+            .map(|&p| benes::path_cells(p))
+            .sum()
     }
 }
 
@@ -118,10 +121,7 @@ mod tests {
         // Intra-rack: 11 + 15 + 11 = 37 cells.
         assert_eq!(SwitchPath::intra_rack(64, 256).total_path_cells(), 37);
         // Inter-rack: 11 + 15 + 17 + 15 + 11 = 69 cells.
-        assert_eq!(
-            SwitchPath::inter_rack(64, 256, 512).total_path_cells(),
-            69
-        );
+        assert_eq!(SwitchPath::inter_rack(64, 256, 512).total_path_cells(), 69);
     }
 
     #[test]
@@ -181,8 +181,7 @@ mod tests {
         let m = model();
         let p = SwitchPath::inter_rack(64, 256, 512);
         let total = m.flow_total_energy_j(&p, 40_000, 500.0);
-        let parts = m.flow_switch_energy_j(&p, 500.0)
-            + m.transceiver_energy_j(40_000, 500.0, 4);
+        let parts = m.flow_switch_energy_j(&p, 500.0) + m.transceiver_energy_j(40_000, 500.0, 4);
         assert!((total - parts).abs() < 1e-9);
     }
 

@@ -103,7 +103,9 @@ impl Fabric {
         let mut routing = Routing {
             ports,
             stages,
-            cells: (0..stages).map(|_| vec![CellState::Idle; ports as usize / 2]).collect(),
+            cells: (0..stages)
+                .map(|_| vec![CellState::Idle; ports as usize / 2])
+                .collect(),
             paths: vec![None; ports as usize],
         };
         for (i, &p) in perm.iter().enumerate() {
@@ -144,7 +146,11 @@ fn route_recursive(
         let stage = stage0;
         let idx = row0;
         for &(i, o) in pairs {
-            let want = if i == o { CellState::Bar } else { CellState::Cross };
+            let want = if i == o {
+                CellState::Bar
+            } else {
+                CellState::Cross
+            };
             let cell = &mut routing.cells[stage as usize][idx as usize];
             debug_assert!(
                 *cell == CellState::Idle || *cell == want,
@@ -212,14 +218,40 @@ fn route_recursive(
         let out_sw = o / 2;
         // Input cell: input port i is the (i % 2) leg; it must exit on leg
         // `sub` (upper leg feeds the upper subnet).
-        let in_state = if i % 2 == sub { CellState::Bar } else { CellState::Cross };
+        let in_state = if i % 2 == sub {
+            CellState::Bar
+        } else {
+            CellState::Cross
+        };
         set_cell(routing, stage0, row0 + in_sw as u32, in_state)?;
         // Output cell: the signal arrives on leg `sub` and must leave on
         // leg (o % 2).
-        let out_state = if o % 2 == sub { CellState::Bar } else { CellState::Cross };
+        let out_state = if o % 2 == sub {
+            CellState::Bar
+        } else {
+            CellState::Cross
+        };
         set_cell(routing, out_stage, row0 + out_sw as u32, out_state)?;
-        record(routing, i, o, stage0, row0 + in_sw as u32, stage0, row0, ports);
-        record(routing, i, o, out_stage, row0 + out_sw as u32, stage0, row0, ports);
+        record(
+            routing,
+            i,
+            o,
+            stage0,
+            row0 + in_sw as u32,
+            stage0,
+            row0,
+            ports,
+        );
+        record(
+            routing,
+            i,
+            o,
+            out_stage,
+            row0 + out_sw as u32,
+            stage0,
+            row0,
+            ports,
+        );
         let pair = (in_sw, out_sw);
         if sub == 0 {
             upper.push(pair);
@@ -265,7 +297,9 @@ fn remap_and_recurse(
     let mut scratch = Routing {
         ports,
         stages,
-        cells: (0..stages).map(|_| vec![CellState::Idle; ports as usize / 2]).collect(),
+        cells: (0..stages)
+            .map(|_| vec![CellState::Idle; ports as usize / 2])
+            .collect(),
         paths: vec![None; ports as usize],
     };
     for &(i, _) in sub_pairs {
@@ -512,7 +546,9 @@ mod tests {
             let mut p: Vec<u16> = (0..ports).collect();
             let mut state = 0x2545F4914F6CDD1Du64;
             for i in (1..p.len()).rev() {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let j = (state >> 33) as usize % (i + 1);
                 p.swap(i, j);
             }

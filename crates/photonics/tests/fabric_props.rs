@@ -10,8 +10,12 @@ use risa_photonics::fabric::Fabric;
 fn partial_perm(ports: u16) -> impl Strategy<Value = Vec<Option<u16>>> {
     let n = ports as usize;
     // Random permutation + random mask.
-    (Just(ports), any::<u64>(), prop::collection::vec(any::<bool>(), n)).prop_map(
-        move |(ports, seed, mask)| {
+    (
+        Just(ports),
+        any::<u64>(),
+        prop::collection::vec(any::<bool>(), n),
+    )
+        .prop_map(move |(ports, seed, mask)| {
             let n = ports as usize;
             let mut p: Vec<u16> = (0..ports).collect();
             let mut state = seed | 1;
@@ -26,8 +30,7 @@ fn partial_perm(ports: u16) -> impl Strategy<Value = Vec<Option<u16>>> {
                 .zip(mask)
                 .map(|(o, keep)| keep.then_some(o))
                 .collect()
-        },
-    )
+        })
 }
 
 fn check(ports: u16, perm: &[Option<u16>]) -> Result<(), TestCaseError> {

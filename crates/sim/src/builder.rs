@@ -97,7 +97,10 @@ impl SimulationBuilder {
         workload
             .validate_fits(&self.cfg.topology)
             .unwrap_or_else(|vm| {
-                panic!("VM {} exceeds single-box capacity (paper §2 assumption)", vm.id)
+                panic!(
+                    "VM {} exceeds single-box capacity (paper §2 assumption)",
+                    vm.id
+                )
             });
         let mut world = DdcWorld::new(self.cfg, self.algorithm, workload);
         if let Some(interval) = self.timeline_interval {

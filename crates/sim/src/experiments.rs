@@ -64,7 +64,14 @@ pub fn fig5_with(_seed: u64, spec: &WorkloadSpec) -> ExperimentReport {
     let runs = run_matrix(&cfg, std::slice::from_ref(spec), &Algorithm::ALL, true);
     let mut t = Table::new(
         "Figure 5: inter-rack VM assignments (synthetic workload)",
-        &["algorithm", "inter-rack assignments", "dropped", "cpu%", "ram%", "sto%"],
+        &[
+            "algorithm",
+            "inter-rack assignments",
+            "dropped",
+            "cpu%",
+            "ram%",
+            "sto%",
+        ],
     )
     .align(&[
         Align::Left,
@@ -149,7 +156,13 @@ where
     t.render()
 }
 
-fn azure_experiment<F>(id: &str, title: &str, seed: u64, parallel: bool, cell: F) -> ExperimentReport
+fn azure_experiment<F>(
+    id: &str,
+    title: &str,
+    seed: u64,
+    parallel: bool,
+    cell: F,
+) -> ExperimentReport
 where
     F: Fn(&RunReport) -> String,
 {
@@ -231,7 +244,13 @@ pub fn fig11(seed: u64) -> ExperimentReport {
     let runs = run_matrix(&cfg, &[spec], &Algorithm::ALL, false);
     let mut t = Table::new(
         "Figure 11: scheduler execution time, synthetic workload",
-        &["algorithm", "sched time (ms)", "vs RISA", "ops/VM", "ops vs RISA"],
+        &[
+            "algorithm",
+            "sched time (ms)",
+            "vs RISA",
+            "ops/VM",
+            "ops vs RISA",
+        ],
     )
     .align(&[
         Align::Left,
@@ -363,8 +382,7 @@ pub fn fig5_seed_sweep(seeds: &[u64], n: u32) -> ExperimentReport {
     let runs: Vec<RunReport> = seeds
         .par_iter()
         .flat_map(|&seed| {
-            let spec =
-                WorkloadSpec::Synthetic(risa_workload::SyntheticConfig::small(n, seed));
+            let spec = WorkloadSpec::Synthetic(risa_workload::SyntheticConfig::small(n, seed));
             run_matrix(&cfg, &[spec], &Algorithm::ALL, false)
         })
         .collect();
@@ -411,7 +429,10 @@ pub fn ablation_lifetimes(seed: u64, n: u32) -> ExperimentReport {
     use risa_workload::{LifetimeModel, SyntheticConfig};
     let models: [(&str, LifetimeModel); 3] = [
         ("staircase (paper)", LifetimeModel::Staircase),
-        ("exponential(6300)", LifetimeModel::Exponential { mean: 6300.0 }),
+        (
+            "exponential(6300)",
+            LifetimeModel::Exponential { mean: 6300.0 },
+        ),
         ("fixed(6300)", LifetimeModel::Fixed { value: 6300.0 }),
     ];
     let mut t = Table::new(

@@ -52,10 +52,7 @@ mod tests {
     #[test]
     fn synthetic_materializes_n_vms() {
         assert_eq!(WorkloadSpec::synthetic(37, 1).materialize().len(), 37);
-        assert_eq!(
-            WorkloadSpec::synthetic_paper(1).materialize().len(),
-            2500
-        );
+        assert_eq!(WorkloadSpec::synthetic_paper(1).materialize().len(), 2500);
     }
 
     #[test]

@@ -85,8 +85,7 @@ impl Timeline {
         for p in &self.points {
             out.push_str(&format!(
                 "{:.3},{:.0},{:.0},{:.0},{:.0},{:.0},{}\n",
-                p.t, p.cpu_used, p.ram_used, p.sto_used, p.intra_mbps, p.inter_mbps,
-                p.resident_vms
+                p.t, p.cpu_used, p.ram_used, p.sto_used, p.intra_mbps, p.inter_mbps, p.resident_vms
             ));
         }
         out
@@ -94,7 +93,11 @@ impl Timeline {
 
     /// Peak resident VM count over the run.
     pub fn peak_resident(&self) -> u32 {
-        self.points.iter().map(|p| p.resident_vms).max().unwrap_or(0)
+        self.points
+            .iter()
+            .map(|p| p.resident_vms)
+            .max()
+            .unwrap_or(0)
     }
 }
 

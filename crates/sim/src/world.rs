@@ -133,9 +133,8 @@ impl DdcWorld {
     pub(crate) fn flush_timeline(&mut self) {
         let t = self.end_time;
         let cluster = &self.cluster;
-        let used = |k: ResourceKind| {
-            (cluster.total_capacity(k) - cluster.total_available(k)) as f64
-        };
+        let used =
+            |k: ResourceKind| (cluster.total_capacity(k) - cluster.total_available(k)) as f64;
         let point = TimelinePoint {
             t,
             cpu_used: used(ResourceKind::Cpu),
@@ -234,22 +233,19 @@ impl DdcWorld {
                 self.latency.record(lat);
                 // Optical energy (Figure 9), 1 time unit ≡ 1 s.
                 let life_s = vm.lifetime;
-                self.optical_energy_j += self.flow_energy(
-                    a.network.cpu_ram.inter_rack,
-                    a.network.cpu_ram.mbps,
-                    life_s,
-                );
-                self.optical_energy_j += self.flow_energy(
-                    a.network.ram_sto.inter_rack,
-                    a.network.ram_sto.mbps,
-                    life_s,
-                );
+                self.optical_energy_j +=
+                    self.flow_energy(a.network.cpu_ram.inter_rack, a.network.cpu_ram.mbps, life_s);
+                self.optical_energy_j +=
+                    self.flow_energy(a.network.ram_sto.inter_rack, a.network.ram_sto.mbps, life_s);
                 if let Some((auditor, seqs)) = self.auditor.as_mut() {
                     seqs[idx as usize] = Some(auditor.admit(&self.cluster, &a));
                 }
                 self.assignments[idx as usize] = Some(a);
                 self.resident += 1;
-                ctx.schedule_in(SimDuration::from_units(vm.lifetime), SimEvent::Departure(idx));
+                ctx.schedule_in(
+                    SimDuration::from_units(vm.lifetime),
+                    SimEvent::Departure(idx),
+                );
             }
             ScheduleOutcome::Dropped(DropReason::Compute) => {
                 self.counters.dropped_compute += 1;

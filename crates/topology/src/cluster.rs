@@ -1,7 +1,10 @@
-//! Mutable cluster state: unit-granular box accounting plus the per-rack
-//! max-available tables that make RISA's `INTRA_RACK_POOL` cheap to build.
+//! Mutable cluster state: unit-granular box accounting backed by the
+//! incremental [`PlacementIndex`], which keeps every per-rack and
+//! cross-rack aggregate (maxima, totals, sorted availability, rack
+//! successor queries) coherent on each `take`/`give` without rescans.
 
 use crate::config::TopologyConfig;
+use crate::index::PlacementIndex;
 use crate::resources::{BoxId, RackId, ResourceKind, UnitDemand, ALL_RESOURCES};
 use serde::{Deserialize, Serialize};
 
@@ -119,17 +122,17 @@ impl VmPlacement {
     }
 }
 
-/// The whole disaggregated cluster: box table, per-rack indexes, cached
-/// per-rack maxima and cluster-wide totals.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// The whole disaggregated cluster: box table, per-rack indexes, and the
+/// incremental [`PlacementIndex`] serving every aggregate query.
+#[derive(Debug, Clone)]
 pub struct Cluster {
     cfg: TopologyConfig,
     boxes: Vec<BoxState>,
     /// Per rack, per kind: the global ids of that rack's boxes, ascending.
     rack_boxes: Vec<[Vec<BoxId>; 3]>,
-    /// Per rack, per kind: the largest `available` among the rack's boxes.
-    /// This is the table RISA consults to build `INTRA_RACK_POOL` in O(racks).
-    rack_max: Vec<[u32; 3]>,
+    /// Incremental aggregates: per-rack maxima/totals, sorted availability
+    /// sets, and the rack segment tree (derived state, rebuilt on load).
+    index: PlacementIndex,
     totals_avail: [u64; 3],
     totals_cap: [u64; 3],
 }
@@ -143,9 +146,7 @@ impl Cluster {
         cfg.validate().expect("invalid topology configuration");
         let cap = cfg.box_capacity_units();
         let mut boxes = Vec::with_capacity(cfg.total_boxes() as usize);
-        let mut rack_boxes = Vec::with_capacity(cfg.racks as usize);
         for rack in 0..cfg.racks {
-            let mut per_kind: [Vec<BoxId>; 3] = Default::default();
             for kind in ALL_RESOURCES {
                 for _ in 0..cfg.box_mix.of(kind) {
                     let id = BoxId(boxes.len() as u32);
@@ -156,22 +157,35 @@ impl Cluster {
                         capacity: cap,
                         available: cap,
                     });
-                    per_kind[kind.index()].push(id);
                 }
             }
-            rack_boxes.push(per_kind);
         }
-        let rack_max = vec![[cap; 3]; cfg.racks as usize];
+        Cluster::from_parts(cfg, boxes)
+    }
+
+    /// Assemble a cluster around an explicit box table, rebuilding every
+    /// derived structure (per-rack id lists, totals, the placement index).
+    /// Shared by [`Cluster::new`] and deserialization.
+    fn from_parts(cfg: TopologyConfig, boxes: Vec<BoxState>) -> Self {
+        let mut rack_boxes: Vec<[Vec<BoxId>; 3]> =
+            (0..cfg.racks).map(|_| Default::default()).collect();
+        let mut totals_avail = [0u64; 3];
         let mut totals_cap = [0u64; 3];
         for b in &boxes {
+            rack_boxes[b.rack.0 as usize][b.kind.index()].push(b.id);
+            totals_avail[b.kind.index()] += b.available as u64;
             totals_cap[b.kind.index()] += b.capacity as u64;
         }
+        let index = PlacementIndex::build(
+            cfg.racks,
+            boxes.iter().map(|b| (b.rack, b.kind, b.id, b.available)),
+        );
         Cluster {
             cfg,
             boxes,
             rack_boxes,
-            rack_max,
-            totals_avail: totals_cap,
+            index,
+            totals_avail,
             totals_cap,
         }
     }
@@ -231,10 +245,65 @@ impl Cluster {
 
     /// Largest free-unit count among `rack`'s boxes of `kind` — RISA's
     /// per-rack max-available table (§4.2: "RISA keeps track of the boxes
-    /// with the maximum amount of each resource for each rack").
+    /// with the maximum amount of each resource for each rack"). O(1) from
+    /// the placement index.
     #[inline]
     pub fn rack_max_available(&self, rack: RackId, kind: ResourceKind) -> u32 {
-        self.rack_max[rack.0 as usize][kind.index()]
+        self.index.rack_max(rack, kind)
+    }
+
+    /// Total free units of `kind` within `rack`. O(1) from the placement
+    /// index (the restricted contention-ratio denominator).
+    #[inline]
+    pub fn rack_total_available(&self, rack: RackId, kind: ResourceKind) -> u64 {
+        self.index.rack_total(rack, kind)
+    }
+
+    /// First rack with id ≥ `from` holding a single box of `kind` with
+    /// `units` free. Exact, O(log racks).
+    pub fn next_rack_with_fit(&self, kind: ResourceKind, units: u32, from: u16) -> Option<RackId> {
+        self.index.next_rack_with_fit(kind, units, from)
+    }
+
+    /// First rack with id ≥ `from` whose per-kind max-available boxes can
+    /// each host the whole `demand` (RISA's `INTRA_RACK_POOL` membership),
+    /// or `None`. O(log racks) on homogeneous state.
+    pub fn next_pool_rack(&self, demand: &UnitDemand, from: u16) -> Option<RackId> {
+        let d = [
+            demand.get(ResourceKind::Cpu),
+            demand.get(ResourceKind::Ram),
+            demand.get(ResourceKind::Storage),
+        ];
+        self.index.next_pool_rack(&d, from)
+    }
+
+    /// The lowest-id box of `kind` in `rack` with at least `units` free
+    /// (the id-order first-fit used by NULB's scans). O(boxes-per-rack),
+    /// which the uniform box mix makes a small constant.
+    pub fn first_fit_in_rack(&self, rack: RackId, kind: ResourceKind, units: u32) -> Option<BoxId> {
+        self.boxes_in_rack(rack, kind)
+            .iter()
+            .copied()
+            .find(|&b| self.available(b) >= units)
+    }
+
+    /// The fullest box of `kind` in `rack` that still fits `units`
+    /// (RISA-BF's best-fit; ties to the lower id). O(log boxes-per-rack).
+    pub fn best_fit_in_rack(&self, rack: RackId, kind: ResourceKind, units: u32) -> Option<BoxId> {
+        self.index.best_fit(rack, kind, units)
+    }
+
+    /// Position of `box_id` within the id-ordered sequence of its kind's
+    /// boxes — how many boxes a naive `boxes_of_kind` scan visits before
+    /// reaching it. O(boxes-per-rack).
+    pub fn kind_position(&self, box_id: BoxId) -> u64 {
+        let b = self.box_state(box_id);
+        let per_rack = self.cfg.box_mix.of(b.kind) as u64;
+        let offset = self.rack_boxes[b.rack.0 as usize][b.kind.index()]
+            .iter()
+            .position(|&x| x == box_id)
+            .expect("box listed in its rack") as u64;
+        b.rack.0 as u64 * per_rack + offset
     }
 
     /// True when every per-kind demand fits in *some single box* of `rack`.
@@ -264,17 +333,8 @@ impl Cluster {
         }
     }
 
-    fn refresh_rack_max(&mut self, rack: RackId, kind: ResourceKind) {
-        let max = self.rack_boxes[rack.0 as usize][kind.index()]
-            .iter()
-            .map(|&b| self.boxes[b.0 as usize].available)
-            .max()
-            .unwrap_or(0);
-        self.rack_max[rack.0 as usize][kind.index()] = max;
-    }
-
-    /// Take `units` from `box_id`. O(boxes-per-rack) due to the cached
-    /// max-table refresh.
+    /// Take `units` from `box_id`. O(log racks) via the incremental
+    /// placement index (no rack rescans).
     pub fn take(&mut self, box_id: BoxId, units: u32) -> Result<(), AllocError> {
         let b = self
             .boxes
@@ -286,14 +346,15 @@ impl Cluster {
                 available: b.available,
             });
         }
+        let old = b.available;
         b.available -= units;
-        let (rack, kind) = (b.rack, b.kind);
+        let (rack, kind, new) = (b.rack, b.kind, b.available);
         self.totals_avail[kind.index()] -= units as u64;
-        self.refresh_rack_max(rack, kind);
+        self.index.update(rack, kind, box_id, old, new);
         Ok(())
     }
 
-    /// Return `units` to `box_id`.
+    /// Return `units` to `box_id`. O(log racks).
     pub fn give(&mut self, box_id: BoxId, units: u32) -> Result<(), AllocError> {
         let b = self
             .boxes
@@ -306,10 +367,11 @@ impl Cluster {
                 capacity: b.capacity,
             });
         }
+        let old = b.available;
         b.available += units;
-        let (rack, kind) = (b.rack, b.kind);
+        let (rack, kind, new) = (b.rack, b.kind, b.available);
         self.totals_avail[kind.index()] += units as u64;
-        self.refresh_rack_max(rack, kind);
+        self.index.update(rack, kind, box_id, old, new);
         Ok(())
     }
 
@@ -341,29 +403,26 @@ impl Cluster {
     /// free. Used to build the paper's Table 3 toy state and ablations.
     pub fn set_box_capacity(&mut self, box_id: BoxId, capacity_units: u32) {
         let b = &mut self.boxes[box_id.0 as usize];
-        let (rack, kind) = (b.rack, b.kind);
+        let (rack, kind, old) = (b.rack, b.kind, b.available);
         self.totals_cap[kind.index()] -= b.capacity as u64;
         self.totals_avail[kind.index()] -= b.available as u64;
         b.capacity = capacity_units;
         b.available = capacity_units;
         self.totals_cap[kind.index()] += capacity_units as u64;
         self.totals_avail[kind.index()] += capacity_units as u64;
-        self.refresh_rack_max(rack, kind);
+        self.index.update(rack, kind, box_id, old, capacity_units);
     }
 
     /// Fixture hook: force one box's free units (≤ capacity). Used to load
     /// the exact availability column of the paper's Table 3.
     pub fn force_available(&mut self, box_id: BoxId, available_units: u32) {
         let b = &mut self.boxes[box_id.0 as usize];
-        assert!(
-            available_units <= b.capacity,
-            "availability above capacity"
-        );
-        let (rack, kind) = (b.rack, b.kind);
+        assert!(available_units <= b.capacity, "availability above capacity");
+        let (rack, kind, old) = (b.rack, b.kind, b.available);
         self.totals_avail[kind.index()] -= b.available as u64;
         b.available = available_units;
         self.totals_avail[kind.index()] += available_units as u64;
-        self.refresh_rack_max(rack, kind);
+        self.index.update(rack, kind, box_id, old, available_units);
     }
 
     /// Debug invariant check: cached tables agree with the box table.
@@ -394,12 +453,79 @@ impl Cluster {
                     .map(|&b| self.boxes[b.0 as usize].available)
                     .max()
                     .unwrap_or(0);
-                if self.rack_max[rack as usize][kind.index()] != expect {
-                    return Err(format!("rack_max stale for rack{rack}/{kind}"));
+                if self.rack_max_available(RackId(rack), kind) != expect {
+                    return Err(format!("rack max stale for rack{rack}/{kind}"));
                 }
             }
         }
-        Ok(())
+        self.index.check_against(
+            self.cfg.racks,
+            self.boxes
+                .iter()
+                .map(|b| (b.rack, b.kind, b.id, b.available)),
+        )
+    }
+}
+
+/// Clusters serialize as configuration plus box table; every derived
+/// structure (per-rack id lists, totals, the placement index) is rebuilt
+/// on load, so serialized state can never go stale against the index.
+impl Serialize for Cluster {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("cfg".to_string(), self.cfg.to_value()),
+            ("boxes".to_string(), self.boxes.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Cluster {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let cfg = TopologyConfig::from_value(serde::value::field(v, "cfg")?)?;
+        let boxes = Vec::<BoxState>::from_value(serde::value::field(v, "boxes")?)?;
+        // Reject malformed box tables up front so corruption surfaces as a
+        // deserialization error instead of a panic or silently broken
+        // aggregates.
+        cfg.validate().map_err(serde::Error::new)?;
+        for (i, b) in boxes.iter().enumerate() {
+            if b.id.0 as usize != i {
+                return Err(serde::Error::new(format!(
+                    "box table entry {i} carries id {}",
+                    b.id
+                )));
+            }
+            if b.rack.0 >= cfg.racks {
+                return Err(serde::Error::new(format!(
+                    "{} names {} outside the {}-rack configuration",
+                    b.id, b.rack, cfg.racks
+                )));
+            }
+            if b.available > b.capacity {
+                return Err(serde::Error::new(format!(
+                    "{} has {}u available of {}u capacity",
+                    b.id, b.available, b.capacity
+                )));
+            }
+        }
+        // The schedulers assume the uniform rack-major layout Cluster::new
+        // produces (kind_position strides by box_mix, pick_box indexes
+        // non-empty lists); enforce it here too.
+        let mut counts = vec![[0u16; 3]; cfg.racks as usize];
+        for b in &boxes {
+            counts[b.rack.0 as usize][b.kind.index()] += 1;
+        }
+        for (r, per_kind) in counts.iter().enumerate() {
+            for kind in ALL_RESOURCES {
+                if per_kind[kind.index()] != cfg.box_mix.of(kind) {
+                    return Err(serde::Error::new(format!(
+                        "rack{r} holds {} {kind} boxes; the configuration says {}",
+                        per_kind[kind.index()],
+                        cfg.box_mix.of(kind)
+                    )));
+                }
+            }
+        }
+        Ok(Cluster::from_parts(cfg, boxes))
     }
 }
 
@@ -566,15 +692,35 @@ mod tests {
         let mut c = paper_cluster();
         c.set_box_capacity(BoxId(4), 8); // paper Table 3 storage box: 512 GB
         assert_eq!(c.box_state(BoxId(4)).capacity, 8);
-        assert_eq!(
-            c.total_capacity(ResourceKind::Storage),
-            4608 - 128 + 8
-        );
+        assert_eq!(c.total_capacity(ResourceKind::Storage), 4608 - 128 + 8);
         c.force_available(BoxId(4), 0);
         assert_eq!(c.rack_max_available(RackId(0), ResourceKind::Storage), 128);
         c.force_available(BoxId(5), 3);
         assert_eq!(c.rack_max_available(RackId(0), ResourceKind::Storage), 3);
         c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn serde_roundtrip_rebuilds_derived_state() {
+        let mut c = paper_cluster();
+        c.take(BoxId(0), 100).unwrap();
+        c.take(BoxId(7), 3).unwrap();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: Cluster = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.available(BoxId(0)), 28);
+        assert_eq!(back.rack_max_available(RackId(0), ResourceKind::Cpu), 128);
+        back.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn deserialize_rejects_malformed_box_tables() {
+        let json = serde_json::to_string(&paper_cluster()).unwrap();
+        // A box naming a rack outside the configuration must error (not
+        // panic), as must availability above capacity.
+        let bad_rack = json.replace("\"rack\":17", "\"rack\":99");
+        assert!(serde_json::from_str::<Cluster>(&bad_rack).is_err());
+        let over = json.replace("\"available\":128", "\"available\":999");
+        assert!(serde_json::from_str::<Cluster>(&over).is_err());
     }
 
     #[test]

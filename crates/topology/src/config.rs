@@ -129,6 +129,18 @@ impl TopologyConfig {
         }
     }
 
+    /// The same per-rack shape with `multiplier ×` as many racks — the
+    /// `--scale` knob for beyond-paper cluster sizes (10×/100× studies).
+    /// Panics when the rack count would overflow `u16`.
+    pub fn scaled(&self, multiplier: u16) -> Self {
+        assert!(multiplier > 0, "scale multiplier must be positive");
+        let racks = self
+            .racks
+            .checked_mul(multiplier)
+            .expect("scaled rack count exceeds u16");
+        TopologyConfig { racks, ..*self }
+    }
+
     /// Units of capacity in one box (bricks × units-per-brick).
     pub const fn box_capacity_units(&self) -> u32 {
         self.bricks_per_box as u32 * self.units_per_brick as u32
@@ -243,6 +255,22 @@ mod tests {
         for kind in ALL_RESOURCES {
             assert_eq!(m.of(kind), 2);
         }
+    }
+
+    #[test]
+    fn scaled_multiplies_racks_only() {
+        let c = TopologyConfig::paper().scaled(10);
+        assert_eq!(c.racks, 180);
+        assert_eq!(c.box_mix, BoxMix::paper());
+        assert_eq!(c.box_capacity_units(), 128);
+        assert!(c.validate().is_ok());
+        assert_eq!(TopologyConfig::paper().scaled(1), TopologyConfig::paper());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn scaled_rejects_zero() {
+        TopologyConfig::paper().scaled(0);
     }
 
     #[test]

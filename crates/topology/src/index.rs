@@ -1,0 +1,293 @@
+//! The incremental placement index: the cross-rack data structures that
+//! make every scheduler hot path scan-free.
+//!
+//! The seed implementation rebuilt per-rack aggregates by rescanning a
+//! rack's boxes on every `take`/`give` and answered cross-rack questions
+//! ("first box that fits", "next rack that can host this VM") with linear
+//! scans over the whole cluster. That is fine at the paper's 18 racks and
+//! hopeless at 768. [`PlacementIndex`] maintains, incrementally on every
+//! availability change:
+//!
+//! * per rack × resource kind, a **sorted availability set**
+//!   `BTreeSet<(avail, BoxId)>` — giving O(log boxes-per-rack) best-fit
+//!   ("fullest box that still fits") and O(1) per-rack maxima;
+//! * per rack × resource kind, the **total available units** — giving O(1)
+//!   restricted contention-ratio denominators;
+//! * a **segment tree over racks** whose nodes store per-kind maxima of
+//!   the rack max-available tables — giving O(log racks) successor queries
+//!   `next_rack_with_fit` (single kind, exact) and `next_pool_rack`
+//!   (all three kinds; exact at leaves, guided at internal nodes).
+//!
+//! Updates are O(log racks + log boxes-per-rack) per `take`/`give`;
+//! queries never scan the box table. `Cluster` owns one of these and keeps
+//! it coherent; `check_invariants` cross-checks every structure against a
+//! brute-force rebuild.
+
+use crate::resources::{BoxId, RackId, ResourceKind};
+use std::collections::BTreeSet;
+
+/// Incrementally-maintained aggregates over the cluster's availability
+/// state. See the module docs for the structure inventory.
+#[derive(Debug, Clone, Default)]
+pub struct PlacementIndex {
+    racks: usize,
+    /// Leaf count of the segment tree (racks rounded up to a power of two).
+    cap: usize,
+    /// Segment tree nodes, 1-indexed; `tree[cap + r]` is rack `r`'s
+    /// per-kind max-available leaf, internal nodes hold children maxima.
+    tree: Vec<[u32; 3]>,
+    /// Per rack, per kind: `(available, box)` ascending.
+    sets: Vec<[BTreeSet<(u32, BoxId)>; 3]>,
+    /// Per rack, per kind: total available units.
+    totals: Vec<[u64; 3]>,
+}
+
+impl PlacementIndex {
+    /// Build the index for `racks` racks from an iterator of
+    /// `(rack, kind, box, available)` tuples.
+    pub fn build(
+        racks: u16,
+        boxes: impl Iterator<Item = (RackId, ResourceKind, BoxId, u32)>,
+    ) -> Self {
+        let n = racks as usize;
+        let cap = n.next_power_of_two().max(1);
+        let mut index = PlacementIndex {
+            racks: n,
+            cap,
+            tree: vec![[0; 3]; 2 * cap],
+            sets: (0..n).map(|_| Default::default()).collect(),
+            totals: vec![[0; 3]; n],
+        };
+        for (rack, kind, box_id, avail) in boxes {
+            let (r, k) = (rack.0 as usize, kind.index());
+            index.sets[r][k].insert((avail, box_id));
+            index.totals[r][k] += avail as u64;
+        }
+        for r in 0..n {
+            for k in 0..3 {
+                index.tree[cap + r][k] = index.sets[r][k].last().map_or(0, |&(avail, _)| avail);
+            }
+        }
+        for node in (1..cap).rev() {
+            index.tree[node] = Self::merge(index.tree[2 * node], index.tree[2 * node + 1]);
+        }
+        index
+    }
+
+    fn merge(a: [u32; 3], b: [u32; 3]) -> [u32; 3] {
+        [a[0].max(b[0]), a[1].max(b[1]), a[2].max(b[2])]
+    }
+
+    /// Record one box's availability change. O(log racks) when the rack
+    /// maximum moves, O(log boxes-per-rack) otherwise.
+    pub fn update(
+        &mut self,
+        rack: RackId,
+        kind: ResourceKind,
+        box_id: BoxId,
+        old_avail: u32,
+        new_avail: u32,
+    ) {
+        if old_avail == new_avail {
+            return; // zero-unit grants and releases are no-ops
+        }
+        let (r, k) = (rack.0 as usize, kind.index());
+        let set = &mut self.sets[r][k];
+        let removed = set.remove(&(old_avail, box_id));
+        debug_assert!(removed, "index out of sync: missing {box_id} @ {old_avail}");
+        set.insert((new_avail, box_id));
+        self.totals[r][k] = self.totals[r][k] + new_avail as u64 - old_avail as u64;
+        let new_max = set.last().map_or(0, |&(avail, _)| avail);
+        self.refresh_leaf(r, k, new_max);
+    }
+
+    fn refresh_leaf(&mut self, r: usize, k: usize, new_max: u32) {
+        let mut node = self.cap + r;
+        if self.tree[node][k] == new_max {
+            return;
+        }
+        self.tree[node][k] = new_max;
+        while node > 1 {
+            node /= 2;
+            let recomputed = Self::merge(self.tree[2 * node], self.tree[2 * node + 1]);
+            if self.tree[node] == recomputed {
+                break;
+            }
+            self.tree[node] = recomputed;
+        }
+    }
+
+    /// Largest availability among `rack`'s boxes of `kind`. O(1).
+    #[inline]
+    pub fn rack_max(&self, rack: RackId, kind: ResourceKind) -> u32 {
+        self.tree[self.cap + rack.0 as usize][kind.index()]
+    }
+
+    /// Total available units of `kind` in `rack`. O(1).
+    #[inline]
+    pub fn rack_total(&self, rack: RackId, kind: ResourceKind) -> u64 {
+        self.totals[rack.0 as usize][kind.index()]
+    }
+
+    /// The fullest box of `kind` in `rack` that still has `units` free
+    /// (best-fit; ties to the lower box id). O(log boxes-per-rack).
+    pub fn best_fit(&self, rack: RackId, kind: ResourceKind, units: u32) -> Option<BoxId> {
+        self.sets[rack.0 as usize][kind.index()]
+            .range((units, BoxId(0))..)
+            .next()
+            .map(|&(_, b)| b)
+    }
+
+    /// First rack with id ≥ `from` holding a box of `kind` with ≥ `units`
+    /// free. Exact, O(log racks).
+    pub fn next_rack_with_fit(&self, kind: ResourceKind, units: u32, from: u16) -> Option<RackId> {
+        let k = kind.index();
+        self.descend(from as usize, |node| node[k] >= units)
+    }
+
+    /// First rack with id ≥ `from` able to host the whole `demand` in
+    /// single boxes (RISA's `INTRA_RACK_POOL` membership test). Exact at
+    /// leaves; internal nodes prune by per-kind maxima.
+    pub fn next_pool_rack(&self, demand: &[u32; 3], from: u16) -> Option<RackId> {
+        self.descend(from as usize, |node| {
+            node[0] >= demand[0] && node[1] >= demand[1] && node[2] >= demand[2]
+        })
+    }
+
+    /// Leftmost leaf ≥ `start` on which `pred` holds, among real racks.
+    fn descend(&self, start: usize, pred: impl Fn(&[u32; 3]) -> bool + Copy) -> Option<RackId> {
+        if start >= self.racks {
+            return None;
+        }
+        self.descend_node(1, 0, self.cap, start, pred)
+    }
+
+    fn descend_node(
+        &self,
+        node: usize,
+        lo: usize,
+        hi: usize,
+        start: usize,
+        pred: impl Fn(&[u32; 3]) -> bool + Copy,
+    ) -> Option<RackId> {
+        if hi <= start || !pred(&self.tree[node]) {
+            return None;
+        }
+        if hi - lo == 1 {
+            return (lo < self.racks).then_some(RackId(lo as u16));
+        }
+        let mid = (lo + hi) / 2;
+        self.descend_node(2 * node, lo, mid, start, pred)
+            .or_else(|| self.descend_node(2 * node + 1, mid, hi, start, pred))
+    }
+
+    /// Exhaustively cross-check every aggregate against `avail_of`.
+    pub fn check_against(
+        &self,
+        racks: u16,
+        boxes: impl Iterator<Item = (RackId, ResourceKind, BoxId, u32)>,
+    ) -> Result<(), String> {
+        let rebuilt = PlacementIndex::build(racks, boxes);
+        if rebuilt.sets != self.sets {
+            return Err("placement-index availability sets stale".into());
+        }
+        if rebuilt.totals != self.totals {
+            return Err("placement-index rack totals stale".into());
+        }
+        if rebuilt.tree != self.tree {
+            return Err("placement-index segment tree stale".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resources::ALL_RESOURCES;
+
+    fn sample() -> PlacementIndex {
+        // 3 racks x 2 boxes per kind, availabilities laid out by formula.
+        let boxes = (0..3u16).flat_map(|r| {
+            ALL_RESOURCES.into_iter().flat_map(move |kind| {
+                (0..2u32).map(move |i| {
+                    let id = BoxId(r as u32 * 6 + kind.index() as u32 * 2 + i);
+                    let avail = 10 * (r as u32 + 1) + i;
+                    (RackId(r), kind, id, avail)
+                })
+            })
+        });
+        PlacementIndex::build(3, boxes)
+    }
+
+    #[test]
+    fn build_computes_maxima_and_totals() {
+        let idx = sample();
+        assert_eq!(idx.rack_max(RackId(0), ResourceKind::Cpu), 11);
+        assert_eq!(idx.rack_max(RackId(2), ResourceKind::Storage), 31);
+        assert_eq!(idx.rack_total(RackId(1), ResourceKind::Ram), 41);
+    }
+
+    #[test]
+    fn update_moves_maxima() {
+        let mut idx = sample();
+        // Drain rack 2's best CPU box (id 13, avail 31).
+        idx.update(RackId(2), ResourceKind::Cpu, BoxId(13), 31, 0);
+        assert_eq!(idx.rack_max(RackId(2), ResourceKind::Cpu), 30);
+        assert_eq!(idx.rack_total(RackId(2), ResourceKind::Cpu), 30);
+        idx.update(RackId(2), ResourceKind::Cpu, BoxId(13), 0, 31);
+        assert_eq!(idx.rack_max(RackId(2), ResourceKind::Cpu), 31);
+    }
+
+    #[test]
+    fn successor_queries_are_exact() {
+        let idx = sample();
+        // Only rack 2 can host 31 CPU units.
+        assert_eq!(
+            idx.next_rack_with_fit(ResourceKind::Cpu, 31, 0),
+            Some(RackId(2))
+        );
+        assert_eq!(idx.next_rack_with_fit(ResourceKind::Cpu, 31, 3), None);
+        assert_eq!(idx.next_rack_with_fit(ResourceKind::Cpu, 32, 0), None);
+        // Every rack hosts 5 units; successor respects `from`.
+        assert_eq!(
+            idx.next_rack_with_fit(ResourceKind::Ram, 5, 1),
+            Some(RackId(1))
+        );
+        // Pool query needs all three kinds at once.
+        assert_eq!(idx.next_pool_rack(&[21, 21, 21], 0), Some(RackId(1)));
+        assert_eq!(idx.next_pool_rack(&[21, 31, 21], 0), Some(RackId(2)));
+        assert_eq!(idx.next_pool_rack(&[32, 0, 0], 0), None);
+    }
+
+    #[test]
+    fn best_fit_prefers_fullest_then_lowest_id() {
+        let mut idx = sample();
+        // Rack 0 CPU: (10, box0), (11, box1). Demand 10 → box0 (fuller).
+        assert_eq!(
+            idx.best_fit(RackId(0), ResourceKind::Cpu, 10),
+            Some(BoxId(0))
+        );
+        assert_eq!(
+            idx.best_fit(RackId(0), ResourceKind::Cpu, 11),
+            Some(BoxId(1))
+        );
+        assert_eq!(idx.best_fit(RackId(0), ResourceKind::Cpu, 12), None);
+        // Equal availability ties to the lower id.
+        idx.update(RackId(0), ResourceKind::Cpu, BoxId(1), 11, 10);
+        assert_eq!(
+            idx.best_fit(RackId(0), ResourceKind::Cpu, 9),
+            Some(BoxId(0))
+        );
+    }
+
+    #[test]
+    fn check_against_detects_corruption() {
+        let boxes =
+            || (0..2u16).map(|r| (RackId(r), ResourceKind::Cpu, BoxId(r as u32), 5 + r as u32));
+        let mut idx = PlacementIndex::build(2, boxes());
+        assert!(idx.check_against(2, boxes()).is_ok());
+        idx.update(RackId(0), ResourceKind::Cpu, BoxId(0), 5, 3);
+        assert!(idx.check_against(2, boxes()).is_err());
+    }
+}

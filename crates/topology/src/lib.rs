@@ -9,9 +9,12 @@
 //! This crate owns:
 //! * the configuration type reproducing Table 1 ([`TopologyConfig`]),
 //! * resource-kind/unit arithmetic ([`ResourceKind`], [`UnitDemand`]),
-//! * the mutable cluster state with unit-granular allocate/release and the
-//!   per-rack *max-available-box* tables that RISA's `INTRA_RACK_POOL`
-//!   construction depends on ([`Cluster`]).
+//! * the mutable cluster state with unit-granular allocate/release
+//!   ([`Cluster`]),
+//! * the incremental [`PlacementIndex`] behind it: sorted per-rack
+//!   availability sets, per-rack totals, and a rack segment tree that
+//!   answer first-fit / best-fit / pool-successor queries in
+//!   O(log) instead of the seed's per-VM linear scans.
 //!
 //! The network is deliberately **not** modelled here (see `risa-network`);
 //! schedulers combine both.
@@ -35,8 +38,10 @@
 mod cluster;
 mod config;
 pub mod display;
+mod index;
 mod resources;
 
 pub use cluster::{AllocError, BoxAllocation, BoxState, Cluster, VmPlacement};
 pub use config::{BoxMix, TopologyConfig, UnitSizes};
+pub use index::PlacementIndex;
 pub use resources::{BoxId, RackId, ResourceKind, UnitDemand, ALL_RESOURCES};

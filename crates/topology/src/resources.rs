@@ -17,11 +17,8 @@ pub enum ResourceKind {
 
 /// All resource kinds in canonical order (CPU, RAM, storage) — the order
 /// the paper's algorithms iterate `res_type`.
-pub const ALL_RESOURCES: [ResourceKind; 3] = [
-    ResourceKind::Cpu,
-    ResourceKind::Ram,
-    ResourceKind::Storage,
-];
+pub const ALL_RESOURCES: [ResourceKind; 3] =
+    [ResourceKind::Cpu, ResourceKind::Ram, ResourceKind::Storage];
 
 impl ResourceKind {
     /// Stable dense index (0/1/2) for array-backed tables.
@@ -196,7 +193,7 @@ mod tests {
     #[test]
     fn natural_conversion_rounds_up() {
         let u = UnitSizes::paper(); // 4 cores, 4 GB, 64 GB
-        // 1 core still occupies a whole 4-core unit.
+                                    // 1 core still occupies a whole 4-core unit.
         let d = UnitDemand::from_natural(&u, 1, 1, 1);
         assert_eq!(d, UnitDemand::new(1, 1, 1));
         // Exact multiples don't over-allocate.
@@ -235,9 +232,6 @@ mod tests {
     fn display_formats() {
         assert_eq!(RackId(3).to_string(), "rack3");
         assert_eq!(BoxId(17).to_string(), "box17");
-        assert_eq!(
-            UnitDemand::new(1, 2, 3).to_string(),
-            "cpu=1u ram=2u sto=3u"
-        );
+        assert_eq!(UnitDemand::new(1, 2, 3).to_string(), "cpu=1u ram=2u sto=3u");
     }
 }

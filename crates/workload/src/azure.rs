@@ -182,11 +182,7 @@ mod tests {
             let w = generate(subset, 11);
             for (cores, expect) in subset.cpu_marginal() {
                 let got = w.vms().iter().filter(|v| v.cpu_cores == cores).count();
-                assert_eq!(
-                    got as u32, expect,
-                    "{}: {cores}-core count",
-                    subset.label()
-                );
+                assert_eq!(got as u32, expect, "{}: {cores}-core count", subset.label());
             }
         }
     }

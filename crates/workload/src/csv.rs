@@ -129,14 +129,20 @@ mod tests {
 
     #[test]
     fn header_enforced() {
-        assert_eq!(from_csv("x", "wrong\n1,2,3,4,5,6").unwrap_err(), CsvError::BadHeader);
+        assert_eq!(
+            from_csv("x", "wrong\n1,2,3,4,5,6").unwrap_err(),
+            CsvError::BadHeader
+        );
         assert_eq!(from_csv("x", "").unwrap_err(), CsvError::BadHeader);
     }
 
     #[test]
     fn arity_and_field_errors_carry_line_numbers() {
         let csv = format!("{HEADER}\n0,1,2,128,0.0,10\n1,2,3\n");
-        assert_eq!(from_csv("x", &csv).unwrap_err(), CsvError::BadArity { line: 3 });
+        assert_eq!(
+            from_csv("x", &csv).unwrap_err(),
+            CsvError::BadArity { line: 3 }
+        );
 
         let csv = format!("{HEADER}\n0,one,2,128,0.0,10\n");
         assert_eq!(
@@ -151,7 +157,10 @@ mod tests {
     #[test]
     fn unsorted_arrivals_rejected() {
         let csv = format!("{HEADER}\n0,1,2,128,5.0,10\n1,1,2,128,4.0,10\n");
-        assert_eq!(from_csv("x", &csv).unwrap_err(), CsvError::NotSorted { line: 3 });
+        assert_eq!(
+            from_csv("x", &csv).unwrap_err(),
+            CsvError::NotSorted { line: 3 }
+        );
     }
 
     #[test]

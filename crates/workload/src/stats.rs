@@ -85,7 +85,11 @@ mod tests {
         let s = WorkloadStats::of(&w);
         assert_eq!(s.count, 2500);
         // U{1..32}: mean 16.5; allow sampling noise.
-        assert!((s.mean_cpu_cores - 16.5).abs() < 0.6, "{}", s.mean_cpu_cores);
+        assert!(
+            (s.mean_cpu_cores - 16.5).abs() < 0.6,
+            "{}",
+            s.mean_cpu_cores
+        );
         assert!((s.mean_ram_gb - 16.5).abs() < 0.6);
         assert_eq!(s.mean_storage_gb, 128.0);
         // Staircase mean: 6300 + 360 * mean(step) where steps 0..=24.

@@ -107,7 +107,9 @@ pub fn generate(cfg: &SyntheticConfig) -> Workload {
                 LifetimeModel::Staircase => cfg.lifetime_of(i),
                 LifetimeModel::Exponential { mean } => {
                     assert!(mean > 0.0, "exponential lifetime mean must be > 0");
-                    Exp::new(1.0 / mean).expect("positive rate").sample(&mut rng)
+                    Exp::new(1.0 / mean)
+                        .expect("positive rate")
+                        .sample(&mut rng)
                 }
                 LifetimeModel::Fixed { value } => {
                     assert!(value >= 0.0, "fixed lifetime must be non-negative");

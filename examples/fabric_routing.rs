@@ -44,7 +44,10 @@ fn main() {
         chart.bar(format!("{placed:>2} connections"), alpha);
     }
     println!("{chart}");
-    println!("paper assumption: alpha = 0.9 (between our light-load ~{:.2} and the", measured[0].1);
+    println!(
+        "paper assumption: alpha = 0.9 (between our light-load ~{:.2} and the",
+        measured[0].1
+    );
     println!("full-permutation bound 0.5 — every cell shared by exactly two paths)\n");
 
     // What the assumption is worth in energy terms:

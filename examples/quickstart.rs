@@ -21,7 +21,9 @@ fn main() {
         cluster.num_boxes(),
         cluster.config().total_capacity_natural(ResourceKind::Cpu),
         cluster.config().total_capacity_natural(ResourceKind::Ram),
-        cluster.config().total_capacity_natural(ResourceKind::Storage),
+        cluster
+            .config()
+            .total_capacity_natural(ResourceKind::Storage),
     );
 
     // The paper's "typical VM": 8 cores, 16 GB RAM, 128 GB storage.
@@ -36,7 +38,11 @@ fn main() {
                     "  vm{i}: {} in {} ({}, {} Mb/s reserved)",
                     cpu,
                     cluster.rack_of(cpu),
-                    if a.intra_rack { "intra-rack" } else { "inter-rack" },
+                    if a.intra_rack {
+                        "intra-rack"
+                    } else {
+                        "inter-rack"
+                    },
                     a.network.total_mbps(),
                 );
                 held.push(a);

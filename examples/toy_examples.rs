@@ -38,7 +38,11 @@ fn toy_example_1() {
                     table_id(cpu, &ids.cpu),
                     table_id(ram, &ids.ram),
                     table_id(sto, &ids.sto),
-                    if a.intra_rack { "intra-rack" } else { "inter-rack" },
+                    if a.intra_rack {
+                        "intra-rack"
+                    } else {
+                        "inter-rack"
+                    },
                 );
             }
             Outcome::Dropped(r) => println!("  {algo:<7} -> dropped ({r:?})"),

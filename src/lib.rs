@@ -43,8 +43,6 @@ pub mod prelude {
     pub use risa_photonics::{EnergyModel, PhotonicsConfig};
     pub use risa_sched::{Algorithm, ScheduleOutcome, Scheduler};
     pub use risa_sim::{ExperimentReport, RunReport, SimulationBuilder, WorkloadSpec};
-    pub use risa_topology::{
-        BoxId, Cluster, RackId, ResourceKind, TopologyConfig, UnitDemand,
-    };
+    pub use risa_topology::{BoxId, Cluster, RackId, ResourceKind, TopologyConfig, UnitDemand};
     pub use risa_workload::{AzureSubset, SyntheticConfig, VmRequest, Workload};
 }

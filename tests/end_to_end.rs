@@ -30,8 +30,7 @@ fn fig5_shape_holds_end_to_end() {
         "RISA must cut inter-rack assignments at least 5x vs NULB"
     );
     assert!(
-        by(Algorithm::RisaBf).inter_rack_assignments
-            <= by(Algorithm::Risa).inter_rack_assignments,
+        by(Algorithm::RisaBf).inter_rack_assignments <= by(Algorithm::Risa).inter_rack_assignments,
         "best-fit packs at least as well as next-fit in the paper's runs"
     );
     for r in &reports {
@@ -112,10 +111,7 @@ fn drop_accounting_balances_under_overload() {
 /// The experiment matrix runner produces a complete, labelled grid.
 #[test]
 fn experiment_matrix_is_complete() {
-    let rep = experiments::fig5_with(
-        1,
-        &WorkloadSpec::Synthetic(SyntheticConfig::small(200, 1)),
-    );
+    let rep = experiments::fig5_with(1, &WorkloadSpec::Synthetic(SyntheticConfig::small(200, 1)));
     assert_eq!(rep.runs.len(), 4);
     for a in Algorithm::ALL {
         assert!(rep.run(a, "synthetic").is_some(), "{a} missing");

@@ -37,7 +37,10 @@ fn sliced_traces_replay_identically() {
     let direct = run(&slice);
     let via_json = run(&Workload::from_json(&slice.to_json()).unwrap());
     assert_eq!(direct.admitted, via_json.admitted);
-    assert_eq!(direct.inter_rack_assignments, via_json.inter_rack_assignments);
+    assert_eq!(
+        direct.inter_rack_assignments,
+        via_json.inter_rack_assignments
+    );
     assert_eq!(direct.optical_energy_j, via_json.optical_energy_j);
 }
 

@@ -29,10 +29,7 @@ fn toy_example_1_matches_paper() {
         let a = assign(algo, &mut cluster, &mut net);
         assert_eq!(a.placement.grant(ResourceKind::Cpu).box_id, ids.cpu[2]);
         assert_eq!(a.placement.grant(ResourceKind::Ram).box_id, ids.ram[1]);
-        assert_eq!(
-            a.placement.grant(ResourceKind::Storage).box_id,
-            ids.sto[2]
-        );
+        assert_eq!(a.placement.grant(ResourceKind::Storage).box_id, ids.sto[2]);
         assert!(!a.intra_rack, "{algo} must go inter-rack here");
     }
     // RISA: exactly the paper's (2, 2, 2).
@@ -42,10 +39,7 @@ fn toy_example_1_matches_paper() {
         let a = assign(Algorithm::Risa, &mut cluster, &mut net);
         assert_eq!(a.placement.grant(ResourceKind::Cpu).box_id, ids.cpu[2]);
         assert_eq!(a.placement.grant(ResourceKind::Ram).box_id, ids.ram[2]);
-        assert_eq!(
-            a.placement.grant(ResourceKind::Storage).box_id,
-            ids.sto[2]
-        );
+        assert_eq!(a.placement.grant(ResourceKind::Storage).box_id, ids.sto[2]);
         assert!(a.intra_rack);
     }
     // RISA-BF: best-fit prefers the fuller boxes (3, 3, 2) — still all in
@@ -56,10 +50,7 @@ fn toy_example_1_matches_paper() {
         let a = assign(Algorithm::RisaBf, &mut cluster, &mut net);
         assert_eq!(a.placement.grant(ResourceKind::Cpu).box_id, ids.cpu[3]);
         assert_eq!(a.placement.grant(ResourceKind::Ram).box_id, ids.ram[3]);
-        assert_eq!(
-            a.placement.grant(ResourceKind::Storage).box_id,
-            ids.sto[2]
-        );
+        assert_eq!(a.placement.grant(ResourceKind::Storage).box_id, ids.sto[2]);
         assert!(a.intra_rack);
     }
 }

@@ -1,0 +1,227 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the surface this workspace's benches use (`Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `black_box`) backed by a simple calibrated timing loop: warm up, pick an
+//! iteration count targeting a fixed measurement window, report mean
+//! time/iteration. No statistics beyond that — the goal is comparable
+//! relative numbers and a stable report format, not criterion's analysis.
+//!
+//! Set `RISA_BENCH_MS` to change the per-benchmark measurement window
+//! (default 200 ms; CI can use 20 ms smoke runs).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export-compatible `black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn measurement_window() -> Duration {
+    let ms = std::env::var("RISA_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(200);
+    Duration::from_millis(ms.max(1))
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A `name/parameter` id.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the payload.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    last_ns: f64,
+    window: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, storing the mean time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and calibration: run until ~10% of the window elapses,
+        // counting iterations.
+        let calib = self.window / 10;
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < calib {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let target_iters =
+            ((self.window.as_secs_f64() * 0.9 / per_iter.max(1e-9)) as u64).clamp(1, u64::MAX);
+        let start = Instant::now();
+        for _ in 0..target_iters {
+            black_box(f());
+        }
+        self.last_ns = start.elapsed().as_secs_f64() * 1e9 / target_iters as f64;
+    }
+}
+
+fn report(name: &str, ns: f64) {
+    let (value, unit) = if ns < 1_000.0 {
+        (ns, "ns")
+    } else if ns < 1_000_000.0 {
+        (ns / 1_000.0, "µs")
+    } else if ns < 1_000_000_000.0 {
+        (ns / 1_000_000.0, "ms")
+    } else {
+        (ns / 1_000_000_000.0, "s")
+    };
+    println!("{name:<50} time: {value:>10.3} {unit}/iter");
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    window: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            window: measurement_window(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepts (and ignores) command-line configuration, like criterion.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            last_ns: 0.0,
+            window: self.window,
+        };
+        f(&mut b);
+        report(name, b.last_ns);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+        }
+    }
+
+    /// Print the closing summary (a no-op beyond a newline here).
+    pub fn final_summary(self) {
+        println!();
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in sizes runs by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.criterion.window = time;
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            last_ns: 0.0,
+            window: self.criterion.window,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{id}", self.name), b.last_ns);
+        self
+    }
+
+    /// Run one named benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            last_ns: 0.0,
+            window: self.criterion.window,
+        };
+        f(&mut b);
+        report(&format!("{}/{id}", self.name), b.last_ns);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_payload() {
+        std::env::set_var("RISA_BENCH_MS", "5");
+        let mut c = Criterion::default().configure_from_args();
+        let mut count = 0u64;
+        c.bench_function("noop", |b| b.iter(|| count += 1));
+        assert!(count > 0);
+        c.final_summary();
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        std::env::set_var("RISA_BENCH_MS", "5");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::from_parameter(3), &3u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.bench_with_input(BenchmarkId::new("mul", 4), &4u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+    }
+}

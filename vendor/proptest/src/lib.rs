@@ -1,0 +1,545 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the API this workspace's property tests use:
+//! the [`proptest!`] macro (with an optional `#![proptest_config(..)]`
+//! header), [`Strategy`] with `prop_map`, range and tuple strategies,
+//! [`Just`], `any::<T>()`, `prop::collection::vec`, [`prop_oneof!`], the
+//! `prop_assert*` macros, and [`TestCaseError`].
+//!
+//! Cases are generated from a deterministic per-test PRNG (seeded from the
+//! test's name), so failures are reproducible run-to-run. Failing inputs
+//! are reported via `Debug`; there is no shrinking.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// The commonly-imported surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError, TestRunner,
+    };
+}
+
+/// Namespace mirror of `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::collection_vec as vec;
+    }
+}
+
+// ------------------------------------------------------------------ rng --
+
+/// Deterministic test-case RNG (xorshift*; quality is ample for tests).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    fn new(seed: u64) -> Self {
+        TestRng { state: seed | 1 }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform integer in `[0, span)`.
+    pub fn below(&mut self, span: u128) -> u128 {
+        debug_assert!(span > 0);
+        ((self.next_u64() as u128) * span) >> 64
+    }
+}
+
+// ------------------------------------------------------------- strategy --
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Box the strategy (used by [`prop_oneof!`] to mix strategy types).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Box::new(self),
+        }
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T> {
+    inner: Box<dyn DynStrategy<T>>,
+}
+
+trait DynStrategy<T> {
+    fn dyn_generate(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.inner.dyn_generate(rng)
+    }
+}
+
+/// The [`Strategy::prop_map`] adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy producing one constant value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128) - (self.start as u128);
+                self.start + (rng.below(span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u128) - (lo as u128) + 1;
+                lo + (rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// `any::<T>()` support.
+pub trait Arbitrary: Sized {
+    /// Generate an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() as u32
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy over every value of `T` (via [`Arbitrary`]).
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The `any::<T>()` entry point.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// `prop::collection::vec(element, size_range)`.
+pub fn collection_vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// A length specification for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi_exclusive: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        SizeRange {
+            lo: r.start,
+            hi_exclusive: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi_exclusive: *r.end() + 1,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            lo: n,
+            hi_exclusive: n + 1,
+        }
+    }
+}
+
+/// Strategy producing vectors of another strategy's values.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        assert!(self.size.lo < self.size.hi_exclusive, "empty size range");
+        let span = (self.size.hi_exclusive - self.size.lo) as u128;
+        let len = self.size.lo + rng.below(span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+// --------------------------------------------------------------- runner --
+
+/// Why a test case failed.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// Assertion failure or explicit rejection.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failed case with the given message.
+    pub fn fail(msg: impl std::fmt::Display) -> Self {
+        TestCaseError::Fail(msg.to_string())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => f.write_str(m),
+        }
+    }
+}
+
+/// Runner configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps the offline suite brisk
+        // while still exploring a meaningful sample.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Executes a property over many generated cases.
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// A runner seeded deterministically from the property's name.
+    pub fn new(config: ProptestConfig, name: &str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRunner {
+            config,
+            rng: TestRng::new(seed),
+        }
+    }
+
+    /// Run `case` for each generated input; panics on the first failure.
+    pub fn run<F>(&mut self, name: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        for i in 0..self.config.cases {
+            if let Err(e) = case(&mut self.rng) {
+                panic!(
+                    "property '{name}' failed at case {i}/{}: {e}",
+                    self.config.cases
+                );
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------- macros --
+
+/// The `proptest!` block macro: defines `#[test]` functions whose
+/// arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal recursion for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr); ) => {};
+    (
+        ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::TestRunner::new($cfg, stringify!($name));
+            runner.run(stringify!($name), |__rng| {
+                $(let $arg = $crate::Strategy::generate(&($strat), __rng);)*
+                let __inputs = format!("{:?}", ($(&$arg,)*));
+                let mut __case = || -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                };
+                __case().map_err(|e| $crate::TestCaseError::fail(format!(
+                    "{e}\n  inputs: {__inputs}"
+                )))
+            });
+        }
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+}
+
+/// Equal-weight union of strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $weight:expr => $strat:expr ),+ $(,)? ) => {
+        $crate::__oneof_impl!( $($strat),+ )
+    };
+    ( $( $strat:expr ),+ $(,)? ) => {
+        $crate::__oneof_impl!( $($strat),+ )
+    };
+}
+
+/// Internal helper for [`prop_oneof!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __oneof_impl {
+    ( $($strat:expr),+ ) => {{
+        let choices = vec![ $( $crate::Strategy::boxed($strat) ),+ ];
+        $crate::OneOf { choices }
+    }};
+}
+
+/// A uniform choice among boxed strategies (see [`prop_oneof!`]).
+pub struct OneOf<T> {
+    /// The candidate strategies.
+    pub choices: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.choices.len() as u128) as usize;
+        self.choices[idx].generate(rng)
+    }
+}
+
+/// `prop_assert!`: fail the current case (without panicking) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `prop_assert_eq!`: equality assertion returning a case failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "{} ({:?} != {:?})",
+            format!($($fmt)+),
+            l,
+            r
+        );
+    }};
+}
+
+/// `prop_assert_ne!`: inequality assertion returning a case failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u32..10, y in 0u64..=5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y <= 5);
+        }
+
+        #[test]
+        fn maps_and_tuples_compose(p in (0u32..4, 1u32..=2).prop_map(|(a, b)| a * 10 + b)) {
+            prop_assert!(p % 10 >= 1 && p % 10 <= 2);
+            prop_assert!(p / 10 < 4);
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in prop::collection::vec(0u8..8, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 8));
+        }
+
+        #[test]
+        fn oneof_picks_all_branches(x in prop_oneof![Just(1u32), Just(2u32)]) {
+            prop_assert!(x == 1 || x == 2);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use super::{ProptestConfig, Strategy, TestRunner};
+        let collect = || {
+            let mut out = Vec::new();
+            let mut runner = TestRunner::new(ProptestConfig::with_cases(10), "det");
+            runner.run("det", |rng| {
+                out.push((0u32..100).generate(rng));
+                Ok(())
+            });
+            out
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_case_number() {
+        use super::{ProptestConfig, TestCaseError, TestRunner};
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(5), "boom");
+        runner.run("boom", |_rng| Err(TestCaseError::fail("boom")));
+    }
+}

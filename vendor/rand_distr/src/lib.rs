@@ -1,0 +1,84 @@
+//! Offline stand-in for `rand_distr`: just the exponential distribution,
+//! which is all this workspace samples.
+
+use rand::RngCore;
+
+/// A sampleable distribution over `T`.
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Construction error for [`Exp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExpError {
+    /// The rate parameter λ must be finite and positive.
+    LambdaTooSmall,
+}
+
+impl std::fmt::Display for ExpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "exponential rate must be finite and positive")
+    }
+}
+
+impl std::error::Error for ExpError {}
+
+/// The exponential distribution `Exp(λ)` with mean `1/λ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// An exponential distribution with rate `lambda`.
+    pub fn new(lambda: f64) -> Result<Self, ExpError> {
+        if lambda.is_finite() && lambda > 0.0 {
+            Ok(Exp { lambda })
+        } else {
+            Err(ExpError::LambdaTooSmall)
+        }
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse CDF on u ∈ (0, 1]: -ln(u) / λ. Using 1 - [0,1) keeps the
+        // argument strictly positive, so the sample is always finite.
+        let u = 1.0 - rand::next_f64(rng);
+        -u.ln() / self.lambda
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{SeedableRng, StdRng};
+
+    #[test]
+    fn rejects_bad_rates() {
+        assert!(Exp::new(0.0).is_err());
+        assert!(Exp::new(-1.0).is_err());
+        assert!(Exp::new(f64::NAN).is_err());
+        assert!(Exp::new(2.5).is_ok());
+    }
+
+    #[test]
+    fn sample_mean_matches_rate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let exp = Exp::new(1.0 / 10.0).unwrap();
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| exp.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.3, "mean {mean}");
+    }
+
+    #[test]
+    fn samples_are_positive_and_varied() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let exp = Exp::new(1.0).unwrap();
+        let a = exp.sample(&mut rng);
+        let b = exp.sample(&mut rng);
+        assert!(a > 0.0 && b > 0.0);
+        assert_ne!(a, b);
+    }
+}

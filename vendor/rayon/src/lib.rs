@@ -1,0 +1,50 @@
+//! Offline stand-in for `rayon`.
+//!
+//! `par_iter()` returns the ordinary sequential iterator, so all the
+//! downstream `map`/`flat_map`/`collect` chains compile and behave
+//! identically (and deterministically) — just without the parallelism,
+//! which this workspace only uses as a convenience.
+
+/// Drop-in for `rayon::prelude`.
+pub mod prelude {
+    /// `&self` parallel iteration (sequential here).
+    pub trait IntoParallelRefIterator<'data> {
+        /// The iterator type produced.
+        type Iter: Iterator;
+
+        /// Iterate "in parallel" (sequentially in this stand-in).
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+        type Iter = std::slice::Iter<'data, T>;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Iter = std::slice::Iter<'data, T>;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_behaves_like_iter() {
+        let v = vec![1, 2, 3];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        let flat: Vec<i32> = v.par_iter().flat_map(|&x| vec![x, x]).collect();
+        assert_eq!(flat, vec![1, 1, 2, 2, 3, 3]);
+        let slice: &[i32] = &v;
+        assert_eq!(slice.par_iter().sum::<i32>(), 6);
+    }
+}

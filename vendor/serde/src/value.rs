@@ -1,0 +1,144 @@
+//! The self-describing data model shared by the vendored `serde` and
+//! `serde_json` stand-ins.
+
+use std::fmt;
+
+/// A serialized tree: the common shape JSON text is rendered from and
+/// parsed into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also the encoding of `None`).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// Any integer (wide enough for `u64` and `i64` alike).
+    Int(i128),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map with string keys (field order is preserved).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The boolean payload, if this is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The integer payload; floats with an exact integer value qualify.
+    pub fn as_int(&self) -> Option<i128> {
+        match self {
+            Value::Int(n) => Some(*n),
+            Value::Float(f) if f.fract() == 0.0 && f.abs() < 2f64.powi(96) => Some(*f as i128),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a float (integers convert losslessly enough
+    /// for this repository's ranges).
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if any.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The sequence payload, if any.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The map payload, if any.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Look up `key` in a map value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Short description of the value's shape, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Fetch a required struct field out of a map value (derive-macro helper).
+pub fn field<'v>(v: &'v Value, name: &str) -> Result<&'v Value, Error> {
+    v.get(name)
+        .ok_or_else(|| Error::new(format!("missing field '{name}' in {}", v.kind())))
+}
+
+/// Unwrap an externally-tagged enum value: a one-entry map (derive-macro
+/// helper).
+pub fn enum_tag(v: &Value) -> Result<(&str, &Value), Error> {
+    match v.as_map() {
+        Some([(tag, inner)]) => Ok((tag, inner)),
+        _ => Err(Error::new(format!(
+            "expected an externally tagged enum, got {}",
+            v.kind()
+        ))),
+    }
+}
+
+/// Serialization / deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// An error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+
+    /// A "wrong shape" error naming the expected type.
+    pub fn type_mismatch(expected: &str, got: &Value) -> Self {
+        Error::new(format!("expected {expected}, got {}", got.kind()))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
