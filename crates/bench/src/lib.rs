@@ -1,1 +1,22 @@
-//! Criterion benches live under benches/.
+//! # risa-bench — criterion benches regenerating the paper's evaluation
+//!
+//! All benches live under `benches/` (this library is intentionally
+//! empty); each file regenerates one paper artifact or scaling study:
+//!
+//! * `fig05`–`fig12` — one bench per evaluation figure (§5), printing the
+//!   paper-style table first and then timing the hot kernel behind it
+//!   (e.g. one schedule/release cycle at the paper's ~60 % operating
+//!   point for the Figure 11/12 execution-time stories).
+//! * `scale` — throughput vs cluster size (12 → 768 racks) on the shared
+//!   `risa_sched::cycle::ScheduleCycle` treadmill, the acceptance bench
+//!   for the incremental `PlacementIndex`.
+//! * `ablation`, `micro`, `tables` — calibration sweeps, kernel
+//!   microbenches, and table/report rendering.
+//!
+//! Replication setup (warming treadmills, pre-loading per-algorithm
+//! clusters) fans out over the `rayon` thread pool — `RISA_THREADS=1`
+//! forces it sequential — while every *measured* section stays on one
+//! thread so samples are uncontended. The vendored criterion stand-in
+//! honours `RISA_BENCH_MS` to shorten measurement windows in CI.
+
+#![warn(missing_docs)]

@@ -16,18 +16,25 @@ commands:
       --seed <u64>           (default 42)
       --scale <mult>         run on a mult x paper cluster (default 1)
       --json                 emit the RunReport as JSON
+      --jobs <n>             thread-pool size for parallel sections
   experiment <id>            regenerate a paper artifact
       <id> ∈ fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 ablation all
       --seed <u64>           (default 42 for fig5/fig11, 2023 otherwise)
+      --jobs <n>             threads for the experiment matrix (default: all cores)
   bench                      scheduling-throughput sweep over cluster sizes
       --racks <a,b,c>        rack counts to sweep (default 12,48,192,768)
       --vms <count>          schedule/release cycles per point (default 2000)
+      --jobs <n>             threads timing cells concurrently (1 = uncontended)
   generate                   write a workload trace as JSON
       --workload <...>       as for run
       --n <count> --seed <u64>
       --out <path>           output file (default: stdout)
   replay                     run a saved trace
       --trace <path> --algo <...> [--json]
+
+--jobs (or the RISA_THREADS env var; the flag wins) sizes the global
+thread pool. Simulation reports are identical at any thread count;
+only wall-clock timings (bench's ops/s, fig11/fig12 times) vary.
 ";
 
 /// A parsed command.
@@ -47,6 +54,8 @@ pub enum Command {
         scale: u16,
         /// Emit JSON instead of the text report.
         json: bool,
+        /// Thread-pool size (`None` = `RISA_THREADS` or all cores).
+        jobs: Option<usize>,
     },
     /// `bench`
     Bench {
@@ -54,6 +63,8 @@ pub enum Command {
         racks: Vec<u16>,
         /// Schedule/release cycles measured per point.
         vms: u32,
+        /// Thread-pool size (`None` = `RISA_THREADS` or all cores).
+        jobs: Option<usize>,
     },
     /// `experiment <id>`
     Experiment {
@@ -61,6 +72,8 @@ pub enum Command {
         id: String,
         /// Seed, if overridden.
         seed: Option<u64>,
+        /// Thread-pool size (`None` = `RISA_THREADS` or all cores).
+        jobs: Option<usize>,
     },
     /// `generate`
     Generate {
@@ -166,6 +179,17 @@ fn opt_int<T: TryFrom<u64>>(
     }
 }
 
+/// `--jobs`: an optional thread-pool size, at least 1.
+fn opt_jobs(options: &[(String, String)]) -> Result<Option<usize>, String> {
+    match opt(options, "jobs") {
+        None => Ok(None),
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(Some(n)),
+            _ => Err(format!("--jobs: need a positive thread count, got '{v}'")),
+        },
+    }
+}
+
 /// Parse an argument vector (excluding the program name).
 pub fn parse(argv: &[String]) -> Result<Command, String> {
     let Some(cmd) = argv.first() else {
@@ -195,6 +219,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 seed: opt_u64(&options, "seed", 42)?,
                 scale,
                 json: opt(&options, "json").is_some(),
+                jobs: opt_jobs(&options)?,
             })
         }
         "bench" => {
@@ -219,6 +244,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             Ok(Command::Bench {
                 racks,
                 vms: opt_int::<u32>(&options, "vms", 2000)?,
+                jobs: opt_jobs(&options)?,
             })
         }
         "experiment" => {
@@ -235,7 +261,11 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 None => None,
                 Some(v) => Some(v.parse().map_err(|_| format!("--seed: bad number '{v}'"))?),
             };
-            Ok(Command::Experiment { id, seed })
+            Ok(Command::Experiment {
+                id,
+                seed,
+                jobs: opt_jobs(&options)?,
+            })
         }
         "generate" => {
             let (pos, options) = split_options(rest, &[])?;
@@ -291,6 +321,7 @@ mod tests {
                 seed: 42,
                 scale: 1,
                 json: false,
+                jobs: None,
             }
         );
     }
@@ -308,6 +339,8 @@ mod tests {
             "--scale",
             "10",
             "--json",
+            "--jobs",
+            "4",
         ]))
         .unwrap();
         assert_eq!(
@@ -318,9 +351,12 @@ mod tests {
                 seed: 7,
                 scale: 10,
                 json: true,
+                jobs: Some(4),
             }
         );
         assert!(parse(&v(&["run", "--scale", "0"])).is_err());
+        assert!(parse(&v(&["run", "--jobs", "0"])).is_err());
+        assert!(parse(&v(&["run", "--jobs", "lots"])).is_err());
         // Out-of-range values error instead of silently truncating.
         assert!(parse(&v(&["run", "--scale", "65536"])).is_err());
         assert!(parse(&v(&["run", "--n", "4294967296"])).is_err());
@@ -335,14 +371,19 @@ mod tests {
             Command::Bench {
                 racks: vec![12, 48, 192, 768],
                 vms: 2000,
+                jobs: None,
             }
         );
-        let c = parse(&v(&["bench", "--racks", "18,36", "--vms", "500"])).unwrap();
+        let c = parse(&v(&[
+            "bench", "--racks", "18,36", "--vms", "500", "--jobs", "1",
+        ]))
+        .unwrap();
         assert_eq!(
             c,
             Command::Bench {
                 racks: vec![18, 36],
                 vms: 500,
+                jobs: Some(1),
             }
         );
         assert!(parse(&v(&["bench", "--racks", "12,x"])).is_err());
@@ -356,7 +397,8 @@ mod tests {
             c,
             Command::Experiment {
                 id: "fig9".into(),
-                seed: Some(1)
+                seed: Some(1),
+                jobs: None,
             }
         );
         assert!(parse(&v(&["experiment", "fig99"])).is_err());

@@ -1,6 +1,16 @@
 //! Command execution.
+//!
+//! Commands that fan work out (`experiment`, `bench`) run on the shared
+//! `rayon` pool; `--jobs` (applied here via [`rayon::set_num_threads`])
+//! or the `RISA_THREADS` env var size it. Simulation *reports* are
+//! byte-identical at any thread count; wall-clock measurements (`bench`'s
+//! ops/s, the fig11/fig12 timings) are not, which is why those stay
+//! sequential or warn about contention. A panic inside a worker (e.g. a
+//! workload that fails validation) propagates to the command and aborts
+//! it, exactly as the sequential loop would.
 
 use crate::args::{Command, WorkloadArg};
+use rayon::prelude::*;
 use risa_metrics::{Align, Table};
 use risa_network::NetworkConfig;
 use risa_sched::cycle::ScheduleCycle;
@@ -19,7 +29,9 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             seed,
             scale,
             json,
+            jobs,
         } => {
+            apply_jobs(jobs);
             let paper = TopologyConfig::paper();
             if u32::from(paper.racks) * u32::from(scale) > u32::from(u16::MAX) {
                 return Err(format!(
@@ -37,8 +49,14 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                 .run();
             emit(&report, json)
         }
-        Command::Bench { racks, vms } => bench(&racks, vms),
-        Command::Experiment { id, seed } => experiment(&id, seed),
+        Command::Bench { racks, vms, jobs } => {
+            apply_jobs(jobs);
+            bench(&racks, vms)
+        }
+        Command::Experiment { id, seed, jobs } => {
+            apply_jobs(jobs);
+            experiment(&id, seed)
+        }
         Command::Generate {
             workload,
             seed,
@@ -55,6 +73,13 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                 .run();
             emit(&report, json)
         }
+    }
+}
+
+/// `--jobs` wins over `RISA_THREADS` and the core-count default.
+fn apply_jobs(jobs: Option<usize>) {
+    if let Some(n) = jobs {
+        rayon::set_num_threads(n);
     }
 }
 
@@ -182,15 +207,22 @@ fn info() -> Result<(), String> {
 /// report schedule operations per second — the Figure 11/12 scaling story
 /// at beyond-paper cluster sizes. With the placement index, throughput
 /// stays near-flat as racks grow; the seed's linear scans degraded.
+///
+/// The (racks × algorithm) cells are independent, so they run concurrently
+/// on the `rayon` pool and the sweep's wall-clock time scales with
+/// `--jobs`. Per-cell `µs/op` figures are then contended by siblings; pass
+/// `--jobs 1` (or `RISA_THREADS=1`) when the per-op numbers, not the
+/// sweep time, are the measurement.
 fn bench(racks: &[u16], vms: u32) -> Result<(), String> {
     println!("{}", host_info());
-    let mut t = Table::new(
-        format!("Scheduling throughput vs cluster size ({vms} schedule/release cycles)"),
-        &["racks", "algorithm", "sched ops/s", "µs/op"],
-    )
-    .align(&[Align::Right, Align::Left, Align::Right, Align::Right]);
-    for &n in racks {
-        for algo in Algorithm::ALL {
+    let threads = rayon::current_num_threads();
+    let cells: Vec<(u16, Algorithm)> = racks
+        .iter()
+        .flat_map(|&n| Algorithm::ALL.iter().map(move |&a| (n, a)))
+        .collect();
+    let rows: Vec<Vec<String>> = cells
+        .par_iter()
+        .map(|&(n, algo)| {
             let mut cycle = ScheduleCycle::new(n, algo);
             let t0 = std::time::Instant::now();
             for _ in 0..vms {
@@ -198,15 +230,26 @@ fn bench(racks: &[u16], vms: u32) -> Result<(), String> {
             }
             let secs = t0.elapsed().as_secs_f64();
             let ops = vms as f64 / secs.max(1e-9);
-            t.row(&[
+            vec![
                 n.to_string(),
                 algo.to_string(),
                 format!("{ops:.0}"),
                 format!("{:.2}", 1e6 / ops),
-            ]);
-        }
+            ]
+        })
+        .collect();
+    let mut t = Table::new(
+        format!("Scheduling throughput vs cluster size ({vms} schedule/release cycles)"),
+        &["racks", "algorithm", "sched ops/s", "µs/op"],
+    )
+    .align(&[Align::Right, Align::Left, Align::Right, Align::Right]);
+    for row in &rows {
+        t.row(row);
     }
     println!("{t}");
+    if threads > 1 {
+        println!("(cells timed concurrently on {threads} threads; use --jobs 1 for uncontended per-op numbers)");
+    }
     Ok(())
 }
 
@@ -283,6 +326,7 @@ mod tests {
             seed: 1,
             scale: 1,
             json: false,
+            jobs: None,
         };
         assert!(execute(cmd).is_ok());
     }
@@ -295,6 +339,7 @@ mod tests {
             seed: 1,
             scale: 1,
             json: true,
+            jobs: None,
         };
         assert!(execute(cmd).is_ok());
     }
@@ -327,6 +372,7 @@ mod tests {
             seed: 2,
             scale: 10,
             json: false,
+            jobs: None,
         };
         assert!(execute(cmd).is_ok());
     }
@@ -336,6 +382,7 @@ mod tests {
         assert!(execute(Command::Bench {
             racks: vec![12, 24],
             vms: 200,
+            jobs: Some(2),
         })
         .is_ok());
     }

@@ -4,10 +4,15 @@
 //! risa-cli info                                   # Tables 1/2 + host
 //! risa-cli run --algo RISA --workload azure-3000  # one simulation
 //! risa-cli experiment fig5 [--seed 42]            # regenerate a figure
-//! risa-cli experiment all                         # every figure
+//! risa-cli experiment all --jobs 8                # every figure, 8 threads
+//! risa-cli bench --racks 12,768 --jobs 1          # throughput sweep, uncontended
 //! risa-cli generate --workload synthetic --n 2500 --seed 42 --out trace.json
 //! risa-cli replay --trace trace.json --algo NALB  # run a saved trace
 //! ```
+//!
+//! `experiment` and `bench` fan out over the `rayon` thread pool; `--jobs`
+//! (or `RISA_THREADS`) sizes it, and results are byte-identical at any
+//! thread count. Entry points: `args::parse` → `commands::execute`.
 
 mod args;
 mod commands;

@@ -18,7 +18,14 @@
 //!
 //! The schedulers mutate a [`risa_topology::Cluster`] (compute units) and a
 //! [`risa_network::NetworkState`] (link bandwidth) and are fully
-//! deterministic.
+//! deterministic. Since PR 1 they run scan-free against the incremental
+//! [`risa_topology::PlacementIndex`]; the [`oracle`] module preserves the
+//! seed's scan-based implementations as an executable spec, and
+//! `tests/differential.rs` proves placement/drop/counter equality against
+//! it. [`WorkCounters`] still charges the naive scan costs that the
+//! paper's Figures 11/12 model. Key entry points: [`Scheduler::schedule`],
+//! [`Scheduler::release`], and [`cycle::ScheduleCycle`] (the throughput
+//! treadmill shared by `risa-cli bench` and the criterion `scale` bench).
 //!
 //! ```
 //! use risa_sched::{Algorithm, Scheduler, ScheduleOutcome};

@@ -1,8 +1,15 @@
 //! One entry point per figure/table of the paper's evaluation (§5).
 //!
-//! Each function runs the required simulations (in parallel via rayon,
-//! except the execution-time experiments, which run sequentially so the
-//! wall-clock measurement is uncontended) and renders a paper-style table.
+//! Each function runs the required simulations and renders a paper-style
+//! table. The (algorithm × workload) matrices run concurrently on the
+//! `rayon` thread pool (a real scoped-thread executor as of PR 2; sized by
+//! `RISA_THREADS` / `risa-cli --jobs`), **except** the execution-time
+//! experiments (Figures 11/12), which run sequentially so the wall-clock
+//! measurement is uncontended. Parallelism never changes results: the pool
+//! preserves input order, every run is independently seeded, and
+//! `tests/determinism.rs` asserts byte-identical reports at 1 vs 4
+//! threads. A panicking run (e.g. an oversized VM rejected by the builder)
+//! propagates its panic out of the matrix, as the sequential loop would.
 //! The returned [`ExperimentReport`] carries both the rendering and the
 //! raw [`RunReport`]s for programmatic assertions.
 
@@ -17,8 +24,11 @@ use risa_workload::{AzureSubset, Workload, WorkloadStats};
 
 /// Run every (algorithm × workload) combination.
 ///
-/// `parallel = false` runs sequentially, required when the experiment
-/// reports scheduler wall-clock times (Figures 11/12).
+/// `parallel = true` fans the jobs out over the `rayon` pool; results come
+/// back in job order regardless of thread count, and a panic in any job
+/// propagates to the caller. `parallel = false` runs sequentially on the
+/// calling thread, required when the experiment reports scheduler
+/// wall-clock times (Figures 11/12).
 pub fn run_matrix(
     cfg: &SimConfig,
     specs: &[WorkloadSpec],

@@ -1,0 +1,97 @@
+//! Parallelism must be invisible in the results.
+//!
+//! The `rayon` stand-in became a real scoped-thread pool in PR 2; the
+//! contract (ROADMAP "Architecture") is that thread count only changes
+//! wall-clock time, never a report. These tests pin that contract: the
+//! same seeded experiment matrix serialized after a 1-thread run and a
+//! 4-thread run must be **byte-identical** — modulo `sched_seconds`, the
+//! report's one wall-clock field, which is zeroed before comparison
+//! (`builder.rs` documents it as the only nondeterministic field).
+
+use rayon::with_num_threads;
+use risa_sim::{experiments, Algorithm, RunReport, SimConfig, WorkloadSpec};
+
+/// A small but non-trivial matrix: two synthetic workloads (with churn)
+/// across all four algorithms = 8 full simulation jobs.
+fn matrix() -> Vec<RunReport> {
+    let cfg = SimConfig::paper();
+    let specs = [
+        WorkloadSpec::synthetic(400, 11),
+        WorkloadSpec::synthetic(300, 12),
+    ];
+    experiments::run_matrix(&cfg, &specs, &Algorithm::ALL, true)
+}
+
+/// Serialize with the wall-clock field normalized out.
+fn canonical_json(mut runs: Vec<RunReport>) -> String {
+    for r in &mut runs {
+        r.sched_seconds = 0.0;
+    }
+    serde_json::to_string(&runs).expect("reports serialize")
+}
+
+#[test]
+fn one_thread_and_four_threads_serialize_identically() {
+    let sequential = with_num_threads(1, matrix);
+    let parallel = with_num_threads(4, matrix);
+    assert_eq!(
+        sequential.len(),
+        parallel.len(),
+        "matrix completeness must not depend on thread count"
+    );
+    // Order preservation: job i is the same (algorithm, workload) pair.
+    for (s, p) in sequential.iter().zip(&parallel) {
+        assert_eq!(s.algorithm, p.algorithm);
+        assert_eq!(s.workload, p.workload);
+    }
+    assert_eq!(
+        canonical_json(sequential),
+        canonical_json(parallel),
+        "reports must be byte-identical at any thread count"
+    );
+}
+
+#[test]
+fn oversubscribed_pool_is_still_deterministic() {
+    // More threads than jobs, and an odd count that doesn't divide the
+    // matrix evenly — the chunk deal must not affect results.
+    let reference = canonical_json(with_num_threads(1, matrix));
+    for threads in [3, 16] {
+        assert_eq!(
+            canonical_json(with_num_threads(threads, matrix)),
+            reference,
+            "threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn seed_sweep_is_thread_count_invariant() {
+    // `fig5_seed_sweep` uses `par_iter().flat_map(..)` — the other parallel
+    // shape in the experiments module.
+    let run = || {
+        experiments::fig5_seed_sweep(&[1, 2], 300)
+            .runs
+            .into_iter()
+            .collect::<Vec<RunReport>>()
+    };
+    assert_eq!(
+        canonical_json(with_num_threads(1, run)),
+        canonical_json(with_num_threads(4, run))
+    );
+}
+
+/// The whole-job types the pool moves between threads.
+#[test]
+fn simulation_job_types_are_send_and_sync() {
+    fn assert_send<T: Send>() {}
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SimConfig>();
+    assert_send_sync::<WorkloadSpec>();
+    assert_send_sync::<RunReport>();
+    assert_send_sync::<risa_sim::ExperimentReport>();
+    assert_send_sync::<risa_sim::SimulationBuilder>();
+    // A primed simulation moves to a worker; it is not shared.
+    assert_send::<risa_sim::DdcSimulation>();
+    assert_send::<risa_sim::DdcWorld>();
+}

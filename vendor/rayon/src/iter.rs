@@ -1,0 +1,179 @@
+//! The `par_iter` surface: parallel iterator traits and adapters.
+//!
+//! This is an API subset of real rayon's `rayon::iter`, shaped so that the
+//! workspace's call sites (`par_iter().map(..).collect()`,
+//! `par_iter().flat_map(..).collect()`, `sum`, `for_each`) compile against
+//! either crate. Unlike real rayon the chain is driven by the
+//! chunk-dealing executor in [`crate::pool`], which guarantees that
+//! `collect` returns items in **input order** at any thread count.
+
+use crate::pool::run_ordered;
+
+/// `&self` parallel iteration over a slice-backed container.
+pub trait IntoParallelRefIterator<'data> {
+    /// The element type (`&'data T`).
+    type Item: Send + 'data;
+    /// The parallel iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Iterate in parallel; results of downstream `collect`s keep the
+    /// container's order.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = ParIter<'data, T>;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        ParIter { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = ParIter<'data, T>;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        ParIter { items: self }
+    }
+}
+
+/// A parallel iterator: a composable recipe for producing the items of
+/// index `0..len`, evaluated on the pool only by the consuming methods
+/// ([`collect`](ParallelIterator::collect), [`sum`](ParallelIterator::sum),
+/// [`for_each`](ParallelIterator::for_each)).
+///
+/// Consuming methods propagate the first worker panic to the caller, so a
+/// panicking closure behaves as it would in the sequential loop (minus
+/// which sibling items were already evaluated).
+pub trait ParallelIterator: Sized + Sync {
+    /// The element type.
+    type Item: Send;
+
+    /// Number of input positions.
+    #[doc(hidden)]
+    fn p_len(&self) -> usize;
+
+    /// Evaluate input position `index`, appending produced items to `out`.
+    #[doc(hidden)]
+    fn p_fill(&self, index: usize, out: &mut Vec<Self::Item>);
+
+    /// Map each item through `op`.
+    fn map<R, F>(self, op: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, op }
+    }
+
+    /// Map each item to an iterable and flatten, preserving order.
+    fn flat_map<I, F>(self, op: F) -> FlatMap<Self, F>
+    where
+        I: IntoIterator,
+        I::Item: Send,
+        F: Fn(Self::Item) -> I + Sync,
+    {
+        FlatMap { base: self, op }
+    }
+
+    /// Run `op` on every item (no ordering is observable, but every item
+    /// runs exactly once).
+    fn for_each<F>(self, op: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        self.map(op).drive();
+    }
+
+    /// Sum the items in input order.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+    {
+        self.drive().into_iter().sum()
+    }
+
+    /// Evaluate on the pool and collect in input order.
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        self.drive().into_iter().collect()
+    }
+
+    /// Evaluate the chain on the pool, returning items in input order.
+    #[doc(hidden)]
+    fn drive(self) -> Vec<Self::Item> {
+        run_ordered(self.p_len(), |i, out| self.p_fill(i, out))
+    }
+}
+
+/// Parallel iterator over `&'data [T]` (the entry point).
+pub struct ParIter<'data, T: Sync> {
+    items: &'data [T],
+}
+
+impl<'data, T: Sync> ParallelIterator for ParIter<'data, T> {
+    type Item = &'data T;
+
+    fn p_len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn p_fill(&self, index: usize, out: &mut Vec<Self::Item>) {
+        out.push(&self.items[index]);
+    }
+}
+
+/// Result of [`ParallelIterator::map`].
+pub struct Map<P, F> {
+    base: P,
+    op: F,
+}
+
+impl<P, R, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn p_len(&self) -> usize {
+        self.base.p_len()
+    }
+
+    fn p_fill(&self, index: usize, out: &mut Vec<R>) {
+        let mut inner = Vec::with_capacity(1);
+        self.base.p_fill(index, &mut inner);
+        out.extend(inner.into_iter().map(&self.op));
+    }
+}
+
+/// Result of [`ParallelIterator::flat_map`].
+pub struct FlatMap<P, F> {
+    base: P,
+    op: F,
+}
+
+impl<P, I, F> ParallelIterator for FlatMap<P, F>
+where
+    P: ParallelIterator,
+    I: IntoIterator,
+    I::Item: Send,
+    F: Fn(P::Item) -> I + Sync,
+{
+    type Item = I::Item;
+
+    fn p_len(&self) -> usize {
+        self.base.p_len()
+    }
+
+    fn p_fill(&self, index: usize, out: &mut Vec<I::Item>) {
+        let mut inner = Vec::with_capacity(1);
+        self.base.p_fill(index, &mut inner);
+        out.extend(inner.into_iter().flat_map(&self.op));
+    }
+}

@@ -1,41 +1,44 @@
-//! Offline stand-in for `rayon`.
+//! Offline stand-in for `rayon` — with a real thread pool.
 //!
-//! `par_iter()` returns the ordinary sequential iterator, so all the
-//! downstream `map`/`flat_map`/`collect` chains compile and behave
-//! identically (and deterministically) — just without the parallelism,
-//! which this workspace only uses as a convenience.
+//! The workspace vendors API-subset stand-ins so it builds without a
+//! network. Through PR 1 this crate's `par_iter()` simply returned the
+//! sequential iterator; it now runs the chain on a **scoped-thread,
+//! chunk-dealing executor** (see [`pool`]) while keeping the same calling
+//! surface, so `jobs.par_iter().map(run_one).collect()` actually uses the
+//! machine.
+//!
+//! Guarantees, in order of importance to this workspace:
+//!
+//! * **Determinism / order preservation** — `map`/`flat_map`/`collect`
+//!   return items in input order at *any* thread count. Simulation results
+//!   never depend on scheduling; `RISA_THREADS=1` and `--jobs 8` produce
+//!   byte-identical reports (asserted by `crates/sim/tests/determinism.rs`).
+//! * **Sizing & overrides** — the pool defaults to
+//!   [`std::thread::available_parallelism`]; `RISA_THREADS` overrides it
+//!   per process, [`set_num_threads`] (the CLI's `--jobs`) overrides that,
+//!   and [`with_num_threads`] pins the count for one closure on the
+//!   calling thread (used by tests).
+//! * **Panic propagation** — a panic in a worker closure is re-raised on
+//!   the caller after the scope joins, like real rayon.
+//!
+//! Swapping real rayon back in remains a manifest-only change for the
+//! `prelude` call sites; [`set_num_threads`]/[`with_num_threads`] are the
+//! only knobs that would need porting (to `ThreadPoolBuilder`).
+
+pub mod iter;
+pub mod pool;
+
+pub use pool::{current_num_threads, set_num_threads, with_num_threads};
 
 /// Drop-in for `rayon::prelude`.
 pub mod prelude {
-    /// `&self` parallel iteration (sequential here).
-    pub trait IntoParallelRefIterator<'data> {
-        /// The iterator type produced.
-        type Iter: Iterator;
-
-        /// Iterate "in parallel" (sequentially in this stand-in).
-        fn par_iter(&'data self) -> Self::Iter;
-    }
-
-    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
-        type Iter = std::slice::Iter<'data, T>;
-
-        fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
-        }
-    }
-
-    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
-        type Iter = std::slice::Iter<'data, T>;
-
-        fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
-        }
-    }
+    pub use crate::iter::{IntoParallelRefIterator, ParallelIterator};
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::with_num_threads;
 
     #[test]
     fn par_iter_behaves_like_iter() {
@@ -46,5 +49,109 @@ mod tests {
         assert_eq!(flat, vec![1, 1, 2, 2, 3, 3]);
         let slice: &[i32] = &v;
         assert_eq!(slice.par_iter().sum::<i32>(), 6);
+    }
+
+    #[test]
+    fn collect_preserves_order_under_the_real_pool() {
+        // Skew per-item cost so late indices finish first if workers race;
+        // the collected order must still be the input order.
+        let v: Vec<u64> = (0..512).collect();
+        let expect: Vec<u64> = v.iter().map(|&x| x * 3 + 1).collect();
+        for threads in [2, 4, 8] {
+            let got: Vec<u64> = with_num_threads(threads, || {
+                v.par_iter()
+                    .map(|&x| {
+                        if x % 97 == 0 {
+                            std::thread::sleep(std::time::Duration::from_micros(200));
+                        }
+                        x * 3 + 1
+                    })
+                    .collect()
+            });
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn flat_map_preserves_order_and_multiplicity() {
+        let v: Vec<u32> = (0..100).collect();
+        let seq: Vec<u32> = v
+            .iter()
+            .flat_map(|&x| (0..x % 4).map(move |k| x + k))
+            .collect();
+        let par: Vec<u32> = with_num_threads(4, || {
+            v.par_iter()
+                .flat_map(|&x| (0..x % 4).map(move |k| x + k).collect::<Vec<u32>>())
+                .collect()
+        });
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn for_each_visits_every_item_once() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let v: Vec<u64> = (1..=100).collect();
+        let total = AtomicU64::new(0);
+        with_num_threads(4, || {
+            v.par_iter().for_each(|&x| {
+                total.fetch_add(x, Ordering::Relaxed);
+            })
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn workers_inherit_the_callers_pin() {
+        // A nested drive inside a worker closure must honour the caller's
+        // `with_num_threads` scope, not fall back to the machine default.
+        let v: Vec<u32> = (0..8).collect();
+        let widths: Vec<usize> = with_num_threads(2, || {
+            v.par_iter().map(|_| crate::current_num_threads()).collect()
+        });
+        assert!(widths.iter().all(|&w| w == 2), "{widths:?}");
+    }
+
+    #[test]
+    fn workers_actually_run_concurrently() {
+        // The acceptance bar for the pool: wall-clock speedup. A matrix of
+        // jobs that each wait 40 ms takes >= 480 ms sequentially; with 4
+        // workers the waits overlap (even on a single core), so anything
+        // under half the sequential time proves jobs ran concurrently.
+        // Generous margins keep this stable on loaded CI machines.
+        let jobs: Vec<u32> = (0..12).collect();
+        let wait = std::time::Duration::from_millis(40);
+        let timed = |threads: usize| {
+            let t0 = std::time::Instant::now();
+            let done: Vec<u32> = with_num_threads(threads, || {
+                jobs.par_iter()
+                    .map(|&j| {
+                        std::thread::sleep(wait);
+                        j
+                    })
+                    .collect()
+            });
+            assert_eq!(done, jobs);
+            t0.elapsed()
+        };
+        let sequential = timed(1);
+        let parallel = timed(4);
+        assert!(sequential >= wait * 12, "sequential path must not overlap");
+        assert!(
+            parallel * 2 < sequential,
+            "4 workers must beat 2x over sequential: {parallel:?} vs {sequential:?}"
+        );
+    }
+
+    #[test]
+    fn closure_panic_propagates_to_the_caller() {
+        let v: Vec<u32> = (0..64).collect();
+        let result = std::panic::catch_unwind(|| {
+            with_num_threads(4, || {
+                v.par_iter()
+                    .map(|&x| if x == 33 { panic!("bad item") } else { x })
+                    .collect::<Vec<u32>>()
+            })
+        });
+        assert!(result.is_err());
     }
 }

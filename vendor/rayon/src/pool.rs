@@ -1,0 +1,217 @@
+//! Pool sizing and the scoped-thread chunk-dealing executor.
+//!
+//! There is no resident pool: each top-level parallel drive spawns scoped
+//! worker threads ([`std::thread::scope`]), which keeps the crate
+//! dependency-free and makes every borrow a plain lifetime — no `Arc`, no
+//! channels. Workers *deal* themselves chunks of the index space from a
+//! shared atomic cursor, so an early-finishing worker immediately picks up
+//! the next unclaimed chunk (the load-balancing half of work-stealing
+//! without per-deque theft). Results are tagged with their input index and
+//! re-sorted before they are returned, which is what makes the executor
+//! deterministic: the output order — and therefore anything folded from it
+//! — is identical at any thread count.
+//!
+//! Thread-count resolution, most specific wins:
+//! 1. a [`with_num_threads`] scope on the calling thread,
+//! 2. the process-wide [`set_num_threads`] value (the CLI's `--jobs`),
+//! 3. the `RISA_THREADS` environment variable (read once, cached),
+//! 4. [`std::thread::available_parallelism`].
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Process-wide override set by [`set_num_threads`]; 0 = unset.
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Calling-thread override installed by [`with_num_threads`]; 0 = unset.
+    static LOCAL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// `RISA_THREADS` parsed once; 0 = absent or unparsable.
+fn env_threads() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("RISA_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(0)
+    })
+}
+
+/// The number of worker threads a parallel drive started now would use.
+pub fn current_num_threads() -> usize {
+    let local = LOCAL_THREADS.with(Cell::get);
+    if local != 0 {
+        return local;
+    }
+    let global = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if global != 0 {
+        return global;
+    }
+    let env = env_threads();
+    if env != 0 {
+        return env;
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Set the process-wide thread count (the CLI's `--jobs` lands here).
+/// Values are clamped to at least 1; results are unaffected either way —
+/// only wall-clock time changes.
+pub fn set_num_threads(n: usize) {
+    GLOBAL_THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Run `f` with the pool pinned to `n` threads **on this thread only**,
+/// restoring the previous setting afterwards (panic-safe). This is the
+/// test-friendly override: concurrent tests in the same process don't see
+/// each other's pins.
+pub fn with_num_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            LOCAL_THREADS.with(|c| c.set(self.0));
+        }
+    }
+    let prev = LOCAL_THREADS.with(|c| {
+        let prev = c.get();
+        c.set(n.max(1));
+        prev
+    });
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Evaluate `fill(i, …)` for every `i < len` and return the produced items
+/// in input-index order.
+///
+/// With one thread (or one item) this degenerates to the plain sequential
+/// loop — `RISA_THREADS=1` exercises exactly the pre-pool code path.
+/// Otherwise workers claim chunks from an atomic cursor and buffer
+/// `(index, items)` pairs locally; the buffers are merged and sorted by
+/// index after the scope joins.
+///
+/// Panics: if any `fill` call panics, the panic is re-raised on the caller
+/// once all workers have stopped (remaining chunks may or may not have
+/// been processed, but no partial result escapes).
+pub(crate) fn run_ordered<T, F>(len: usize, fill: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, &mut Vec<T>) + Sync,
+{
+    let width = current_num_threads();
+    let threads = width.min(len);
+    if threads <= 1 {
+        let mut out = Vec::new();
+        for i in 0..len {
+            fill(i, &mut out);
+        }
+        return out;
+    }
+
+    // Small chunks keep the deal balanced when per-item cost is skewed
+    // (whole simulation runs); the clamp keeps cursor traffic negligible
+    // when items are tiny and plentiful.
+    let chunk = (len / (threads * 8)).clamp(1, 1024);
+    let cursor = AtomicUsize::new(0);
+    let fill = &fill;
+
+    let mut tagged: Vec<(usize, Vec<T>)> = std::thread::scope(|s| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                let cursor = &cursor;
+                // Workers inherit the caller's effective width (a fresh
+                // thread's local pin is unset), so a nested drive inside
+                // `fill` honours the caller's `with_num_threads` scope.
+                s.spawn(move || {
+                    with_num_threads(width, || {
+                        let mut local: Vec<(usize, Vec<T>)> = Vec::new();
+                        loop {
+                            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                            if start >= len {
+                                break;
+                            }
+                            for i in start..(start + chunk).min(len) {
+                                let mut items = Vec::new();
+                                fill(i, &mut items);
+                                local.push((i, items));
+                            }
+                        }
+                        local
+                    })
+                })
+            })
+            .collect();
+        let mut merged = Vec::with_capacity(len);
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for worker in workers {
+            match worker.join() {
+                Ok(local) => merged.extend(local),
+                Err(payload) => panic = Some(payload),
+            }
+        }
+        if let Some(payload) = panic {
+            std::panic::resume_unwind(payload);
+        }
+        merged
+    });
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    tagged.into_iter().flat_map(|(_, items)| items).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolution_order_local_beats_global() {
+        // A thread-local pin wins over the global setting and is restored
+        // on exit, even across nesting.
+        with_num_threads(3, || {
+            assert_eq!(current_num_threads(), 3);
+            with_num_threads(5, || assert_eq!(current_num_threads(), 5));
+            assert_eq!(current_num_threads(), 3);
+        });
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn zero_is_clamped() {
+        with_num_threads(0, || assert_eq!(current_num_threads(), 1));
+    }
+
+    #[test]
+    fn run_ordered_is_order_preserving_at_any_width() {
+        let n = 1000;
+        let expect: Vec<usize> = (0..n).map(|i| i * i).collect();
+        for threads in [1, 2, 4, 7] {
+            let got = with_num_threads(threads, || {
+                run_ordered(n, |i, out: &mut Vec<usize>| out.push(i * i))
+            });
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn run_ordered_handles_empty_and_tiny_inputs() {
+        with_num_threads(4, || {
+            assert_eq!(run_ordered(0, |_, _: &mut Vec<u8>| unreachable!()), []);
+            assert_eq!(run_ordered(1, |i, out: &mut Vec<usize>| out.push(i)), [0]);
+        });
+    }
+
+    #[test]
+    fn worker_panic_reaches_the_caller() {
+        let result = std::panic::catch_unwind(|| {
+            with_num_threads(4, || {
+                run_ordered(64, |i, out: &mut Vec<usize>| {
+                    assert!(i != 13, "boom");
+                    out.push(i);
+                })
+            })
+        });
+        assert!(result.is_err());
+    }
+}
