@@ -29,6 +29,7 @@ commands:
       --workload <...>       as for run
       --n <count> --seed <u64>
       --out <path>           output file (default: stdout)
+      --jobs <n>             threads for sharded trace generation
   replay                     run a saved trace
       --trace <path> --algo <...> [--json]
 
@@ -83,6 +84,9 @@ pub enum Command {
         seed: u64,
         /// Output path (None = stdout).
         out: Option<String>,
+        /// Thread-pool size for sharded generation (`None` =
+        /// `RISA_THREADS` or all cores).
+        jobs: Option<usize>,
     },
     /// `replay`
     Replay {
@@ -277,6 +281,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 workload: parse_workload(opt(&options, "workload").unwrap_or("synthetic"), n)?,
                 seed: opt_u64(&options, "seed", 42)?,
                 out: opt(&options, "out").map(str::to_string),
+                jobs: opt_jobs(&options)?,
             })
         }
         "replay" => {
@@ -423,8 +428,21 @@ mod tests {
                 workload: WorkloadArg::Synthetic { n: 100 },
                 seed: 42,
                 out: Some("t.json".into()),
+                jobs: None,
             }
         );
+        // --jobs sizes the sharded-generation pool.
+        let c = parse(&v(&["generate", "--jobs", "8"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Generate {
+                workload: WorkloadArg::Synthetic { n: 2500 },
+                seed: 42,
+                out: None,
+                jobs: Some(8),
+            }
+        );
+        assert!(parse(&v(&["generate", "--jobs", "0"])).is_err());
         let c = parse(&v(&["replay", "--trace", "t.json", "--algo", "risa-bf"])).unwrap();
         assert_eq!(
             c,

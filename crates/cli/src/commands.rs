@@ -61,7 +61,11 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             workload,
             seed,
             out,
-        } => generate(workload, seed, out),
+            jobs,
+        } => {
+            apply_jobs(jobs);
+            generate(workload, seed, out)
+        }
         Command::Replay { trace, algo, json } => {
             let text =
                 std::fs::read_to_string(&trace).map_err(|e| format!("cannot read {trace}: {e}"))?;
@@ -293,6 +297,8 @@ fn experiment(id: &str, seed: Option<u64>) -> Result<(), String> {
 }
 
 fn generate(workload: WorkloadArg, seed: u64, out: Option<String>) -> Result<(), String> {
+    // Generation is sharded over the pool (risa_workload::shard); the
+    // trace is byte-identical at any --jobs value.
     let w = spec_of(workload, seed).materialize();
     let json = w.to_json();
     match out {
@@ -353,6 +359,7 @@ mod tests {
             workload: WorkloadArg::Synthetic { n: 30 },
             seed: 5,
             out: Some(path.clone()),
+            jobs: None,
         })
         .unwrap();
         execute(Command::Replay {
@@ -362,6 +369,37 @@ mod tests {
         })
         .unwrap();
         std::fs::remove_file(path).unwrap();
+    }
+
+    /// `generate --jobs` sizes the sharded-generation pool — and the trace
+    /// written is byte-identical at any thread count.
+    #[test]
+    fn generate_jobs_is_thread_count_invariant() {
+        let dir = std::env::temp_dir().join("risa-cli-test-jobs");
+        std::fs::create_dir_all(&dir).unwrap();
+        let gen_with = |jobs: Option<usize>, name: &str| {
+            let path = dir.join(name).to_string_lossy().to_string();
+            execute(Command::Generate {
+                workload: WorkloadArg::Synthetic { n: 5000 },
+                seed: 9,
+                out: Some(path.clone()),
+                jobs,
+            })
+            .unwrap();
+            let json = std::fs::read_to_string(&path).unwrap();
+            std::fs::remove_file(path).unwrap();
+            json
+        };
+        // --jobs lands in the process-global pool size; restore the
+        // pre-test width afterwards so sibling tests (and the CI
+        // RISA_THREADS=8 pass, which the global would shadow) keep their
+        // configured pool.
+        let prev = rayon::current_num_threads();
+        let two = gen_with(Some(2), "t2.json");
+        let one = gen_with(Some(1), "t1.json");
+        rayon::set_num_threads(prev);
+        assert_eq!(one, two, "trace must not depend on --jobs");
+        assert!(Workload::from_json(&one).is_ok());
     }
 
     #[test]

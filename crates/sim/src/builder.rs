@@ -92,6 +92,11 @@ impl SimulationBuilder {
     }
 
     /// Materialize the workload and prime the event queue.
+    ///
+    /// Trace generation fans out over the `rayon` pool (sharded,
+    /// deterministic — see [`WorkloadSpec::materialize`]); it happens
+    /// here, *before* the run, so the report's scheduler wall-clock
+    /// (`sched_seconds`) is never polluted by generation threads.
     pub fn build(self) -> DdcSimulation {
         let workload = self.workload.materialize();
         workload

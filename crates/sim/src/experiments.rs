@@ -8,7 +8,11 @@
 //! measurement is uncontended. Parallelism never changes results: the pool
 //! preserves input order, every run is independently seeded, and
 //! `tests/determinism.rs` asserts byte-identical reports at 1 vs 4
-//! threads. A panicking run (e.g. an oversized VM rejected by the builder)
+//! threads. Within each trial, workload generation is itself sharded over
+//! the pool (`risa_workload::shard`) — safe even for the sequentially-run
+//! Figures 11/12, because generation happens in `SimulationBuilder::build`
+//! while the reported scheduler wall-clock accrues only during `run`. A
+//! panicking run (e.g. an oversized VM rejected by the builder)
 //! propagates its panic out of the matrix, as the sequential loop would.
 //! The returned [`ExperimentReport`] carries both the rendering and the
 //! raw [`RunReport`]s for programmatic assertions.

@@ -36,6 +36,13 @@ impl WorkloadSpec {
     }
 
     /// Materialize the trace.
+    ///
+    /// Synthetic and Azure specs generate **sharded** on the `rayon`
+    /// pool: fixed 4096-VM index shards with `(seed, shard)`-derived RNG
+    /// streams, stitched by a prefix sum over per-shard interarrival
+    /// totals (`risa_workload::shard`). A single big trial therefore uses
+    /// every worker, and the result is byte-identical at any thread count
+    /// (pinned by `tests/determinism.rs`).
     pub fn materialize(&self) -> Workload {
         match self {
             WorkloadSpec::Synthetic(cfg) => Workload::synthetic(cfg),

@@ -17,6 +17,7 @@
 //! any slice — matching the paper's "no VMs were dropped" observation
 //! (see EXPERIMENTS.md "calibration").
 
+use crate::shard::{self, Stream};
 use crate::synthetic::SyntheticConfig;
 use crate::vm::{VmId, VmRequest, Workload};
 use rand::rngs::StdRng;
@@ -116,9 +117,28 @@ pub fn generate(subset: AzureSubset, seed: u64) -> Workload {
 }
 
 /// Generate with an explicit arrival/lifetime process (ablation hook).
+///
+/// The deck shuffles stay sequential (they are O(n) swaps on one stream);
+/// the per-VM draws — interarrival deltas and the small-RAM coin — are
+/// sharded over the `rayon` pool exactly like the synthetic generator
+/// (see [`crate::shard`]), so the output is byte-identical at any thread
+/// count. Resource draws come from a stream separate from the arrival
+/// deltas, so changing the [`AzureProcess`] moves arrivals and lifetimes
+/// only, never the per-VM CPU/RAM sequence.
 pub fn generate_with(subset: AzureSubset, seed: u64, process: AzureProcess) -> Workload {
+    assert!(
+        process.interarrival_mean.is_finite() && process.interarrival_mean > 0.0,
+        "AzureProcess: interarrival_mean must be finite and > 0 (got {})",
+        process.interarrival_mean
+    );
+    assert!(
+        process.lifetime_step_every >= 1,
+        "AzureProcess: lifetime_step_every must be at least 1 (got 0); \
+         the staircase divides the request index by it"
+    );
     let n = subset.len();
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xA2A2_5EED);
+    let deck_seed = seed ^ 0xA2A2_5EED;
+    let mut rng = StdRng::seed_from_u64(deck_seed);
 
     // Deck draws: exact marginal counts, seeded order.
     let mut cpu_deck: Vec<u32> = subset
@@ -143,31 +163,36 @@ pub fn generate_with(subset: AzureSubset, seed: u64, process: AzureProcess) -> W
         ..SyntheticConfig::paper(0)
     };
     let exp = Exp::new(1.0 / process.interarrival_mean).expect("positive rate");
-    let mut t = 0.0f64;
-    let vms = (0..n)
-        .map(|i| {
-            t += exp.sample(&mut rng);
-            let ram_gb = match ram_deck[i as usize] {
-                // "Small" bucket: 2 or 4 GB, both one RAM unit.
-                0 => {
-                    if rng.gen_bool(0.5) {
-                        2
-                    } else {
-                        4
+    let vms = shard::generate_stitched(n, |shard_idx, range| {
+        let mut arrivals = shard::stream_rng(deck_seed, shard_idx, Stream::Arrivals);
+        let mut resources = shard::stream_rng(deck_seed, shard_idx, Stream::Resources);
+        let mut t = 0.0f64;
+        let vms = range
+            .map(|i| {
+                t += exp.sample(&mut arrivals);
+                let ram_gb = match ram_deck[i as usize] {
+                    // "Small" bucket: 2 or 4 GB, both one RAM unit.
+                    0 => {
+                        if resources.gen_bool(0.5) {
+                            2
+                        } else {
+                            4
+                        }
                     }
+                    gb => gb,
+                };
+                VmRequest {
+                    id: VmId(i),
+                    cpu_cores: cpu_deck[i as usize],
+                    ram_gb,
+                    storage_gb: 128,
+                    arrival: t,
+                    lifetime: staircase.lifetime_of(i),
                 }
-                gb => gb,
-            };
-            VmRequest {
-                id: VmId(i),
-                cpu_cores: cpu_deck[i as usize],
-                ram_gb,
-                storage_gb: 128,
-                arrival: t,
-                lifetime: staircase.lifetime_of(i),
-            }
-        })
-        .collect();
+            })
+            .collect();
+        (vms, t)
+    });
     Workload::from_vms(subset.label(), vms)
 }
 
@@ -286,5 +311,45 @@ mod tests {
         let t_fast = fast.vms().last().unwrap().arrival;
         let t_slow = slow.vms().last().unwrap().arrival;
         assert!(t_fast < t_slow);
+        // The property the name promises: the per-VM resource sequences are
+        // identical — only the arrival process moved (resource draws come
+        // from a stream independent of the arrival deltas).
+        for (f, s) in fast.vms().iter().zip(slow.vms()) {
+            assert_eq!(f.id, s.id);
+            assert_eq!(f.cpu_cores, s.cpu_cores, "cpu sequence moved at {}", f.id);
+            assert_eq!(f.ram_gb, s.ram_gb, "ram sequence moved at {}", f.id);
+            assert_eq!(f.storage_gb, s.storage_gb);
+        }
+        assert!(fast
+            .vms()
+            .iter()
+            .zip(slow.vms())
+            .any(|(f, s)| f.arrival != s.arrival));
+    }
+
+    /// Regression: `lifetime_step_every == 0` used to reach the staircase
+    /// division and die with an opaque divide-by-zero panic.
+    #[test]
+    #[should_panic(expected = "lifetime_step_every must be at least 1")]
+    fn zero_lifetime_step_every_is_rejected_clearly() {
+        let _ = generate_with(
+            AzureSubset::N3000,
+            1,
+            AzureProcess {
+                lifetime_step_every: 0,
+                ..AzureProcess::default()
+            },
+        );
+    }
+
+    /// The sharded-generation contract: byte-identical output at any
+    /// thread count (N7500 spans two shards).
+    #[test]
+    fn byte_identical_at_any_thread_count() {
+        let one = rayon::with_num_threads(1, || generate(AzureSubset::N7500, 42));
+        for threads in [2, 8] {
+            let many = rayon::with_num_threads(threads, || generate(AzureSubset::N7500, 42));
+            assert_eq!(many, one, "threads={threads}");
+        }
     }
 }

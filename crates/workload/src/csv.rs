@@ -31,6 +31,16 @@ pub enum CsvError {
         /// Column name.
         column: &'static str,
     },
+    /// A field parsed but its value is outside the valid domain
+    /// (non-finite or negative time). NaN in particular would otherwise
+    /// silently defeat the sorted-arrivals check (`NaN < last` is false)
+    /// and poison downstream event ordering.
+    BadValue {
+        /// 1-based line number.
+        line: usize,
+        /// Column name.
+        column: &'static str,
+    },
     /// Rows are not sorted by arrival time.
     NotSorted {
         /// 1-based line number of the offending row.
@@ -45,6 +55,12 @@ impl std::fmt::Display for CsvError {
             CsvError::BadArity { line } => write!(f, "line {line}: expected 6 fields"),
             CsvError::BadField { line, column } => {
                 write!(f, "line {line}: cannot parse column '{column}'")
+            }
+            CsvError::BadValue { line, column } => {
+                write!(
+                    f,
+                    "line {line}: column '{column}' must be a finite, non-negative number"
+                )
             }
             CsvError::NotSorted { line } => {
                 write!(f, "line {line}: arrivals must be non-decreasing")
@@ -106,6 +122,11 @@ pub fn from_csv(name: &str, csv: &str) -> Result<Workload, CsvError> {
             arrival: num(fields[4], line, "arrival")?,
             lifetime: num(fields[5], line, "lifetime")?,
         };
+        for (value, column) in [(vm.arrival, "arrival"), (vm.lifetime, "lifetime")] {
+            if !value.is_finite() || value < 0.0 {
+                return Err(CsvError::BadValue { line, column });
+            }
+        }
         if vm.arrival < last_arrival {
             return Err(CsvError::NotSorted { line });
         }
@@ -163,6 +184,43 @@ mod tests {
         );
     }
 
+    /// Regression: a NaN arrival used to slip through the `NotSorted`
+    /// check (`NaN < last` is false, and every later comparison against
+    /// the NaN "last arrival" is false too), silently accepting an
+    /// unordered trace. It must now be rejected as a bad value.
+    #[test]
+    fn nan_arrival_no_longer_bypasses_sort_check() {
+        let csv = format!("{HEADER}\n0,1,2,128,5.0,10\n1,1,2,128,NaN,10\n2,1,2,128,1.0,10\n");
+        assert_eq!(
+            from_csv("x", &csv).unwrap_err(),
+            CsvError::BadValue {
+                line: 3,
+                column: "arrival"
+            }
+        );
+    }
+
+    #[test]
+    fn non_finite_and_negative_times_rejected() {
+        for (row, column) in [
+            ("0,1,2,128,inf,10", "arrival"),
+            ("0,1,2,128,-0.5,10", "arrival"),
+            ("0,1,2,128,1.0,NaN", "lifetime"),
+            ("0,1,2,128,1.0,-inf", "lifetime"),
+            ("0,1,2,128,1.0,-3", "lifetime"),
+        ] {
+            let csv = format!("{HEADER}\n{row}\n");
+            assert_eq!(
+                from_csv("x", &csv).unwrap_err(),
+                CsvError::BadValue { line: 2, column },
+                "row: {row}"
+            );
+        }
+        // Zero times are valid (a trace may start at t = 0).
+        let csv = format!("{HEADER}\n0,1,2,128,0,0\n");
+        assert!(from_csv("x", &csv).is_ok());
+    }
+
     #[test]
     fn blank_lines_tolerated() {
         let csv = format!("{HEADER}\n0,1,2,128,1.0,10\n\n1,1,2,128,2.0,10\n");
@@ -173,5 +231,11 @@ mod tests {
     fn error_display_is_informative() {
         assert!(CsvError::BadHeader.to_string().contains(HEADER));
         assert!(CsvError::NotSorted { line: 7 }.to_string().contains('7'));
+        let bad = CsvError::BadValue {
+            line: 9,
+            column: "arrival",
+        }
+        .to_string();
+        assert!(bad.contains('9') && bad.contains("arrival") && bad.contains("finite"));
     }
 }

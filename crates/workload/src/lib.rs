@@ -14,7 +14,20 @@
 //!    at 128 GB, as the paper assumes). See DESIGN.md §2 for why this
 //!    substitution preserves the scheduling-relevant structure.
 //!
-//! All generation is seeded and deterministic.
+//! All generation is seeded and deterministic — and, since trace version 2,
+//! **sharded**: every [`shard::SHARD_SIZE`] (= 4096) VMs draw from their own
+//! `(seed, shard, stream)`-derived RNG streams and generate concurrently on
+//! the `rayon` pool, with absolute arrivals stitched by a prefix sum over
+//! per-shard interarrival totals (see [`shard`]). Shard boundaries are
+//! fixed, never thread-count-dependent, so the same seed yields a
+//! **byte-identical trace at any thread count** (`RISA_THREADS=1` and
+//! `--jobs 8` agree exactly).
+//!
+//! > **Trace-version note:** the sharded stream replaced the legacy
+//! > single-stream generator as the canonical trace. Distributions and all
+//! > Figure 6 marginals are unchanged, but a given seed produces a
+//! > *different* (equally valid) trace than pre-shard versions — regenerate
+//! > any stored traces rather than comparing across versions.
 //!
 //! ```
 //! use risa_workload::{SyntheticConfig, AzureSubset, Workload};
@@ -33,6 +46,7 @@
 pub mod azure;
 pub mod csv;
 pub mod ops;
+pub mod shard;
 mod stats;
 mod synthetic;
 mod vm;

@@ -7,9 +7,9 @@
 //! > at 6300 time units, with an increment of 360 time units for each set
 //! > of 100 requests. A total of 2500 VMs were generated."
 
+use crate::shard::{self, Stream};
 use crate::vm::{VmId, VmRequest, Workload};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 use rand_distr::{Distribution, Exp};
 use serde::{Deserialize, Serialize};
 
@@ -93,39 +93,71 @@ impl SyntheticConfig {
 }
 
 /// Generate the workload described by `cfg`.
+///
+/// Generation is sharded: every [`shard::SHARD_SIZE`] VMs draw from their
+/// own `(seed, shard)`-derived RNG streams and run concurrently on the
+/// `rayon` pool, with absolute arrivals stitched by a prefix sum over
+/// per-shard interarrival totals (see [`crate::shard`]). The output is
+/// byte-identical at any thread count.
 pub fn generate(cfg: &SyntheticConfig) -> Workload {
-    assert!(cfg.interarrival_mean > 0.0, "interarrival mean must be > 0");
+    assert!(
+        cfg.interarrival_mean.is_finite() && cfg.interarrival_mean > 0.0,
+        "SyntheticConfig: interarrival_mean must be finite and > 0 (got {})",
+        cfg.interarrival_mean
+    );
     assert!(cfg.cpu_cores.0 >= 1 && cfg.cpu_cores.0 <= cfg.cpu_cores.1);
     assert!(cfg.ram_gb.0 >= 1 && cfg.ram_gb.0 <= cfg.ram_gb.1);
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    assert!(
+        cfg.lifetime_step_every >= 1,
+        "SyntheticConfig: lifetime_step_every must be at least 1 (got 0); \
+         the staircase divides the request index by it"
+    );
+    match cfg.lifetime_model {
+        LifetimeModel::Staircase => {}
+        LifetimeModel::Exponential { mean } => {
+            assert!(
+                mean.is_finite() && mean > 0.0,
+                "SyntheticConfig: exponential lifetime mean must be finite and > 0 (got {mean})"
+            );
+        }
+        LifetimeModel::Fixed { value } => {
+            assert!(
+                value.is_finite() && value >= 0.0,
+                "SyntheticConfig: fixed lifetime must be finite and non-negative (got {value})"
+            );
+        }
+    }
     let exp = Exp::new(1.0 / cfg.interarrival_mean).expect("positive rate");
-    let mut t = 0.0f64;
-    let vms = (0..cfg.num_vms)
-        .map(|i| {
-            t += exp.sample(&mut rng);
-            let lifetime = match cfg.lifetime_model {
-                LifetimeModel::Staircase => cfg.lifetime_of(i),
-                LifetimeModel::Exponential { mean } => {
-                    assert!(mean > 0.0, "exponential lifetime mean must be > 0");
-                    Exp::new(1.0 / mean)
-                        .expect("positive rate")
-                        .sample(&mut rng)
+    let lifetime_exp = match cfg.lifetime_model {
+        LifetimeModel::Exponential { mean } => Some(Exp::new(1.0 / mean).expect("positive rate")),
+        _ => None,
+    };
+    let vms = shard::generate_stitched(cfg.num_vms, |shard_idx, range| {
+        let mut arrivals = shard::stream_rng(cfg.seed, shard_idx, Stream::Arrivals);
+        let mut resources = shard::stream_rng(cfg.seed, shard_idx, Stream::Resources);
+        let mut t = 0.0f64;
+        let vms = range
+            .map(|i| {
+                t += exp.sample(&mut arrivals);
+                let lifetime = match cfg.lifetime_model {
+                    LifetimeModel::Staircase => cfg.lifetime_of(i),
+                    LifetimeModel::Exponential { .. } => {
+                        lifetime_exp.expect("hoisted above").sample(&mut resources)
+                    }
+                    LifetimeModel::Fixed { value } => value,
+                };
+                VmRequest {
+                    id: VmId(i),
+                    cpu_cores: resources.gen_range(cfg.cpu_cores.0..=cfg.cpu_cores.1),
+                    ram_gb: resources.gen_range(cfg.ram_gb.0..=cfg.ram_gb.1),
+                    storage_gb: cfg.storage_gb,
+                    arrival: t,
+                    lifetime,
                 }
-                LifetimeModel::Fixed { value } => {
-                    assert!(value >= 0.0, "fixed lifetime must be non-negative");
-                    value
-                }
-            };
-            VmRequest {
-                id: VmId(i),
-                cpu_cores: rng.gen_range(cfg.cpu_cores.0..=cfg.cpu_cores.1),
-                ram_gb: rng.gen_range(cfg.ram_gb.0..=cfg.ram_gb.1),
-                storage_gb: cfg.storage_gb,
-                arrival: t,
-                lifetime,
-            }
-        })
-        .collect();
+            })
+            .collect();
+        (vms, t)
+    });
     Workload::from_vms("synthetic", vms)
 }
 
@@ -224,6 +256,41 @@ mod tests {
         };
         let w = generate(&cfg);
         assert!(w.vms().iter().all(|v| v.lifetime == 1234.0));
+    }
+
+    /// Regression: `lifetime_step_every == 0` used to reach the staircase
+    /// division and die with an opaque divide-by-zero panic.
+    #[test]
+    #[should_panic(expected = "lifetime_step_every must be at least 1")]
+    fn zero_lifetime_step_every_is_rejected_clearly() {
+        let cfg = SyntheticConfig {
+            lifetime_step_every: 0,
+            ..SyntheticConfig::small(10, 1)
+        };
+        let _ = generate(&cfg);
+    }
+
+    /// The sharded-generation contract: byte-identical output at any
+    /// thread count, for a trace spanning several shards.
+    #[test]
+    fn byte_identical_at_any_thread_count() {
+        let cfg = SyntheticConfig::small(3 * crate::shard::SHARD_SIZE + 123, 42);
+        let one = rayon::with_num_threads(1, || generate(&cfg));
+        for threads in [2, 8] {
+            let many = rayon::with_num_threads(threads, || generate(&cfg));
+            assert_eq!(many, one, "threads={threads}");
+        }
+    }
+
+    /// Arrivals stay monotone across shard boundaries after stitching.
+    #[test]
+    fn arrivals_monotone_across_shard_boundaries() {
+        let cfg = SyntheticConfig::small(2 * crate::shard::SHARD_SIZE + 7, 5);
+        let w = generate(&cfg);
+        assert!(w.vms().windows(2).all(|p| p[0].arrival <= p[1].arrival));
+        // The staircase is index-based, so it crosses shards untouched.
+        let i = crate::shard::SHARD_SIZE; // first VM of shard 1
+        assert_eq!(w.vms()[i as usize].lifetime, cfg.lifetime_of(i));
     }
 
     #[test]
