@@ -1,8 +1,11 @@
 //! Command execution.
 //!
-//! Commands that fan work out (`experiment`, `bench`) run on the shared
-//! `rayon` pool; `--jobs` (applied here via [`rayon::set_num_threads`])
-//! or the `RISA_THREADS` env var size it. Simulation *reports* are
+//! Commands that fan work out (`run`'s sharded generation, `experiment`,
+//! `bench`, `generate`) use the process-wide **resident** `rayon` pool;
+//! `--jobs` (applied here via [`rayon::set_num_threads`]) or the
+//! `RISA_THREADS` env var size it, and [`apply_jobs`] pre-warms it
+//! ([`rayon::warm_up`]) so the workers are spawned once up front rather
+//! than inside the first timed cell of a sweep. Simulation *reports* are
 //! byte-identical at any thread count; wall-clock measurements (`bench`'s
 //! ops/s, the fig11/fig12 timings) are not, which is why those stay
 //! sequential or warn about contention. A panic inside a worker (e.g. a
@@ -80,11 +83,14 @@ pub fn execute(cmd: Command) -> Result<(), String> {
     }
 }
 
-/// `--jobs` wins over `RISA_THREADS` and the core-count default.
+/// `--jobs` wins over `RISA_THREADS` and the core-count default, then
+/// the resident pool is spawned eagerly at the resolved width so no
+/// command pays the one-off thread-spawn cost mid-measurement.
 fn apply_jobs(jobs: Option<usize>) {
     if let Some(n) = jobs {
         rayon::set_num_threads(n);
     }
+    rayon::warm_up();
 }
 
 fn spec_of(workload: WorkloadArg, seed: u64) -> WorkloadSpec {

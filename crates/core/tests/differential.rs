@@ -3,13 +3,17 @@
 //! — same box grants, same link choices, same drop reasons, and the same
 //! deterministic work counters (the Figure 11/12 cost model) — over
 //! randomized schedule/release histories, on the paper topology and on a
-//! 10× cluster.
+//! 10× cluster, **and** over replayed canonical v2 traces from
+//! `risa_workload::shard` (synthetic + Azure-7500), so the differential
+//! spec covers exactly the arrival/departure histories the simulator
+//! feeds the schedulers, not just hand-built ones.
 
 use proptest::prelude::*;
 use risa_network::{NetworkConfig, NetworkState};
 use risa_sched::oracle::OracleScheduler;
-use risa_sched::{Algorithm, ScheduleOutcome, Scheduler};
+use risa_sched::{Algorithm, ScheduleOutcome, Scheduler, VmAssignment};
 use risa_topology::{Cluster, TopologyConfig, UnitDemand};
+use risa_workload::{AzureSubset, SyntheticConfig, Workload};
 
 /// One step of a history: schedule a fresh VM, or release the n-th oldest
 /// still-resident one.
@@ -112,6 +116,103 @@ proptest! {
         algo_idx in 0usize..4,
     ) {
         run_differential(scaled(180), Algorithm::ALL[algo_idx], &steps)?;
+    }
+}
+
+/// Replay a generated trace as the schedule/release history the
+/// simulator would produce — arrivals and departures merged in event-time
+/// order (departures first on ties, so capacity frees before the
+/// simultaneous arrival is placed; the *same* deterministic order feeds
+/// both sides) — asserting lock-step outcome and work-counter equality.
+fn run_trace_differential(algo: Algorithm, trace: &Workload, expect_drops: bool) {
+    let cfg = TopologyConfig::paper();
+    let mut cluster = Cluster::new(cfg);
+    let mut net = NetworkState::new(NetworkConfig::paper(), &cluster);
+    let mut sched = Scheduler::new(algo, &cluster);
+
+    let mut cluster_o = Cluster::new(cfg);
+    let mut net_o = NetworkState::new(NetworkConfig::paper(), &cluster_o);
+    let mut oracle = OracleScheduler::new(algo, &cluster_o);
+
+    const DEPART: u8 = 0;
+    const ARRIVE: u8 = 1;
+    let vms = trace.vms();
+    let mut events: Vec<(f64, u8, u32)> = Vec::with_capacity(vms.len() * 2);
+    for (i, vm) in vms.iter().enumerate() {
+        events.push((vm.arrival, ARRIVE, i as u32));
+        events.push((vm.departure(), DEPART, i as u32));
+    }
+    events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+
+    let mut held: Vec<Option<VmAssignment>> = vec![None; vms.len()];
+    let mut drops = 0u32;
+    for &(_, kind, idx) in &events {
+        let idx = idx as usize;
+        if kind == ARRIVE {
+            let demand = vms[idx].demand(&cfg);
+            let ours = sched.schedule(&mut cluster, &mut net, &demand);
+            let theirs = oracle.schedule(&mut cluster_o, &mut net_o, &demand);
+            assert_eq!(
+                ours,
+                theirs,
+                "{algo} diverged on {} at VM {idx}",
+                trace.name()
+            );
+            match ours {
+                ScheduleOutcome::Assigned(a) => held[idx] = Some(a),
+                ScheduleOutcome::Dropped(_) => drops += 1,
+            }
+        } else if let Some(a) = held[idx].take() {
+            Scheduler::release(&mut cluster, &mut net, &a);
+            Scheduler::release(&mut cluster_o, &mut net_o, &a);
+        }
+    }
+    assert_eq!(
+        sched.work(),
+        oracle.work(),
+        "{algo}: cost models diverged on {}",
+        trace.name()
+    );
+    if expect_drops {
+        assert!(
+            drops > 0,
+            "{algo}: the paper cluster should saturate under {} ({} VMs)",
+            trace.name(),
+            vms.len()
+        );
+    }
+    cluster
+        .check_invariants()
+        .expect("index cluster invariants");
+    net.check_invariants().expect("index network invariants");
+}
+
+/// Canonical sharded synthetic trace (v2 stream, > 1 shard so the
+/// multi-stream stitching is exercised), all four algorithms.
+#[test]
+fn sharded_synthetic_trace_matches_oracle() {
+    let trace = Workload::synthetic(&SyntheticConfig::small(6000, 9));
+    assert!(
+        trace.len() as u32 > risa_workload::shard::SHARD_SIZE,
+        "trace must span multiple generation shards"
+    );
+    for algo in Algorithm::ALL {
+        // 6000 synthetic VMs overload the paper cluster: the drop and
+        // fallback paths must agree too.
+        run_trace_differential(algo, &trace, true);
+    }
+}
+
+/// Canonical sharded Azure-7500 trace (the paper's largest subset, two
+/// generation shards), all four algorithms. Like the paper's runs, this
+/// workload fits the cluster (no drops) — the differential here covers
+/// the steady churn of realistic demands.
+#[test]
+fn sharded_azure_7500_trace_matches_oracle() {
+    let trace = Workload::azure(AzureSubset::N7500, 2023);
+    assert!(trace.len() as u32 > risa_workload::shard::SHARD_SIZE);
+    for algo in Algorithm::ALL {
+        run_trace_differential(algo, &trace, false);
     }
 }
 

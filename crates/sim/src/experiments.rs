@@ -2,20 +2,25 @@
 //!
 //! Each function runs the required simulations and renders a paper-style
 //! table. The (algorithm × workload) matrices run concurrently on the
-//! `rayon` thread pool (a real scoped-thread executor as of PR 2; sized by
+//! **resident** `rayon` pool (work-stealing per-worker deques; workers
+//! spawn once on first use and park between drives; sized by
 //! `RISA_THREADS` / `risa-cli --jobs`), **except** the execution-time
 //! experiments (Figures 11/12), which run sequentially so the wall-clock
-//! measurement is uncontended. Parallelism never changes results: the pool
-//! preserves input order, every run is independently seeded, and
-//! `tests/determinism.rs` asserts byte-identical reports at 1 vs 4
-//! threads. Within each trial, workload generation is itself sharded over
-//! the pool (`risa_workload::shard`) — safe even for the sequentially-run
-//! Figures 11/12, because generation happens in `SimulationBuilder::build`
-//! while the reported scheduler wall-clock accrues only during `run`. A
-//! panicking run (e.g. an oversized VM rejected by the builder)
-//! propagates its panic out of the matrix, as the sequential loop would.
-//! The returned [`ExperimentReport`] carries both the rendering and the
-//! raw [`RunReport`]s for programmatic assertions.
+//! measurement is uncontended. Within each trial, workload generation is
+//! itself sharded over the pool (`risa_workload::shard`), which makes a
+//! matrix a *nested* drive: the per-cell generation work subdivides onto
+//! the same workers the matrix occupies instead of serializing behind
+//! them — safe even for the sequentially-run Figures 11/12, because
+//! generation happens in `SimulationBuilder::build` while the reported
+//! scheduler wall-clock accrues only during `run`. Parallelism never
+//! changes results: the pool preserves input order at every nesting
+//! level, every run is independently seeded, and `tests/determinism.rs`
+//! asserts byte-identical reports across thread counts, including nested
+//! and oversubscribed drives. A panicking run (e.g. an oversized VM
+//! rejected by the builder) propagates its panic out of the matrix, as
+//! the sequential loop would. The returned [`ExperimentReport`] carries
+//! both the rendering and the raw [`RunReport`]s for programmatic
+//! assertions.
 
 use crate::config::SimConfig;
 use crate::report::{ExperimentReport, RunReport};

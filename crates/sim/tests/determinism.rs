@@ -1,18 +1,22 @@
 //! Parallelism must be invisible in the results.
 //!
-//! The `rayon` stand-in became a real scoped-thread pool in PR 2; the
-//! contract (ROADMAP "Architecture") is that thread count only changes
-//! wall-clock time, never a report. These tests pin that contract: the
-//! same seeded experiment matrix serialized after a 1-thread run and a
-//! 4-thread run must be **byte-identical** — modulo `sched_seconds`, the
-//! report's one wall-clock field, which is zeroed before comparison
-//! (`builder.rs` documents it as the only nondeterministic field).
+//! The `rayon` stand-in became a real pool in PR 2 and a **resident
+//! work-stealing pool** in this PR; the contract (ROADMAP
+//! "Architecture") is that thread count only changes wall-clock time,
+//! never a report. These tests pin that contract: the same seeded
+//! experiment matrix serialized after a 1-thread run and a 4-thread run
+//! must be **byte-identical** — modulo `sched_seconds`, the report's one
+//! wall-clock field, which is zeroed before comparison (`builder.rs`
+//! documents it as the only nondeterministic field).
 //!
-//! Workload generation is itself parallel now (sharded per 4096-VM index
+//! Workload generation is itself parallel (sharded per 4096-VM index
 //! block, `risa_workload::shard`), so the same contract is pinned one
-//! layer down: materializing a spec at 1 vs 8 threads must produce
-//! byte-identical traces. CI runs this suite under `RISA_THREADS=1` *and*
-//! `RISA_THREADS=8`.
+//! layer down — materializing a spec at 1 vs 8 threads must produce
+//! byte-identical traces — and one layer *up*: a parallel matrix whose
+//! cells generate multi-shard traces is a nested drive that subdivides
+//! onto the same resident workers, and its reports must not move either,
+//! including when the pool is oversubscribed far past the machine's
+//! cores. CI runs this suite under `RISA_THREADS=1`, `=4`, *and* `=8`.
 
 use rayon::with_num_threads;
 use risa_sim::{experiments, Algorithm, RunReport, SimConfig, WorkloadSpec};
@@ -121,6 +125,50 @@ fn workload_generation_is_stable_across_repeated_runs() {
     assert_eq!(
         serde_json::to_string(&a).unwrap(),
         serde_json::to_string(&b).unwrap()
+    );
+}
+
+/// A *nested* drive: a parallel experiment matrix whose cells generate
+/// multi-shard traces in parallel — `par_iter` (matrix) around
+/// `par_iter` (shard generation), the shape the resident pool's
+/// work-stealing subdivision exists for.
+fn nested_matrix() -> Vec<RunReport> {
+    let cfg = SimConfig::paper();
+    // > SHARD_SIZE VMs per spec, so builds inside the matrix cells fan
+    // out over the same workers the matrix itself occupies.
+    let specs = [
+        WorkloadSpec::synthetic(5000, 21),
+        WorkloadSpec::synthetic(4500, 22),
+    ];
+    experiments::run_matrix(&cfg, &specs, &Algorithm::ALL, true)
+}
+
+#[test]
+fn nested_matrix_over_generated_traces_is_byte_identical_1_vs_8() {
+    let sequential = with_num_threads(1, nested_matrix);
+    let parallel = with_num_threads(8, nested_matrix);
+    for (s, p) in sequential.iter().zip(&parallel) {
+        assert_eq!(s.algorithm, p.algorithm);
+        assert_eq!(s.workload, p.workload);
+    }
+    assert_eq!(
+        canonical_json(sequential),
+        canonical_json(parallel),
+        "nested (matrix x shard-generation) runs must be byte-identical"
+    );
+}
+
+#[test]
+fn oversubscribed_nested_run_is_still_deterministic() {
+    // RISA_THREADS=16-style width, far beyond this machine's cores (CI
+    // runners have <= 8): more workers than jobs at both nesting levels,
+    // plus OS-level oversubscription. Results must not move.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let wide = 16.max(2 * cores);
+    assert_eq!(
+        canonical_json(with_num_threads(1, nested_matrix)),
+        canonical_json(with_num_threads(wide, nested_matrix)),
+        "width {wide} (> {cores} cores) must not change any report byte"
     );
 }
 

@@ -1,0 +1,93 @@
+//! Per-worker chunk deques and the global injector.
+//!
+//! Each resident worker owns one [`WorkerDeque`]. Only the owner pushes,
+//! and it pushes and pops at the **back** (LIFO), so a worker descends
+//! into the most recently split — smallest, cache-hottest — piece of its
+//! own work. Thieves take from the **front** (FIFO), so a steal grabs
+//! the *oldest* entry: the biggest still-unsplit subtree, which the
+//! thief then subdivides on its own deque. That asymmetry is the whole
+//! work-stealing story; the LIFO discipline additionally guarantees that
+//! when a [`crate::join`] caller finishes its first closure, the back of
+//! its deque is its own second closure if and only if nobody stole it
+//! ([`WorkerDeque::pop_back_if`]).
+//!
+//! External (non-worker) callers cannot own a deque, so their root jobs
+//! go through the shared [`Injector`], a plain FIFO that idle workers
+//! drain after their own deque and steal attempts come up empty.
+//!
+//! Both structures are mutex-guarded `VecDeque`s rather than lock-free
+//! Chase–Lev deques: jobs here are chunk-granular (leaves of a split
+//! tree, whole simulation cells), so queue traffic is orders of
+//! magnitude below per-item rates and an uncontended mutex is ~20 ns —
+//! invisible next to the jobs themselves, and immune to the ABA/fence
+//! subtleties a hand-rolled lock-free deque would import.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use crate::job::JobRef;
+
+/// A single worker's double-ended job queue.
+pub(crate) struct WorkerDeque {
+    jobs: Mutex<VecDeque<JobRef>>,
+}
+
+impl WorkerDeque {
+    pub(crate) fn new() -> WorkerDeque {
+        WorkerDeque {
+            jobs: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Owner-side push (back / LIFO end).
+    pub(crate) fn push_back(&self, job: JobRef) {
+        self.jobs.lock().expect("deque mutex").push_back(job);
+    }
+
+    /// Owner-side pop (back / LIFO end): the newest job, i.e. the
+    /// smallest split this worker produced.
+    pub(crate) fn pop_back(&self) -> Option<JobRef> {
+        self.jobs.lock().expect("deque mutex").pop_back()
+    }
+
+    /// Owner-side conditional pop: remove and report `true` only if the
+    /// back entry is exactly the job identified by `id`. Used by `join`
+    /// to reclaim its second closure — if the id does not match, the job
+    /// was stolen and the caller must wait on its latch instead.
+    pub(crate) fn pop_back_if(&self, id: *const ()) -> bool {
+        let mut jobs = self.jobs.lock().expect("deque mutex");
+        if jobs.back().is_some_and(|job| job.id() == id) {
+            jobs.pop_back();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Thief-side steal (front / FIFO end): the oldest job, i.e. the
+    /// largest still-unsplit piece of the owner's work.
+    pub(crate) fn steal_front(&self) -> Option<JobRef> {
+        self.jobs.lock().expect("deque mutex").pop_front()
+    }
+}
+
+/// The shared FIFO external callers inject root jobs into.
+pub(crate) struct Injector {
+    jobs: Mutex<VecDeque<JobRef>>,
+}
+
+impl Injector {
+    pub(crate) fn new() -> Injector {
+        Injector {
+            jobs: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    pub(crate) fn push(&self, job: JobRef) {
+        self.jobs.lock().expect("injector mutex").push_back(job);
+    }
+
+    pub(crate) fn pop(&self) -> Option<JobRef> {
+        self.jobs.lock().expect("injector mutex").pop_front()
+    }
+}

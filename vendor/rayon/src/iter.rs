@@ -3,9 +3,10 @@
 //! This is an API subset of real rayon's `rayon::iter`, shaped so that the
 //! workspace's call sites (`par_iter().map(..).collect()`,
 //! `par_iter().flat_map(..).collect()`, `sum`, `for_each`) compile against
-//! either crate. Unlike real rayon the chain is driven by the
-//! chunk-dealing executor in [`crate::pool`], which guarantees that
-//! `collect` returns items in **input order** at any thread count.
+//! either crate. Unlike real rayon the chain is driven by the resident
+//! work-stealing pool's ordered drive in [`crate::pool`], which guarantees
+//! that `collect` returns items in **input order** at any thread count and
+//! nesting depth.
 
 use crate::pool::run_ordered;
 

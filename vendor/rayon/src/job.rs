@@ -1,0 +1,221 @@
+//! Type-erased jobs and completion latches — the unsafe core of the
+//! resident pool.
+//!
+//! A *job* is a closure living on some caller's stack, referenced from a
+//! worker deque or the global injector through a type-erased [`JobRef`]
+//! (a raw pointer plus an `execute` shim). The erasure is what lets a
+//! resident `'static` worker run a closure that borrows its caller's
+//! stack: the soundness contract, upheld by every creation site, is that
+//! **the creator keeps the job alive until its latch opens** — it either
+//! pops the job back off its own deque (the LIFO fast path of
+//! [`crate::join`]) or blocks/helps until the executing thief sets the
+//! latch. No `JobRef` outlives its [`StackJob`].
+//!
+//! Panics never cross the erased boundary raw: [`StackJob::execute`]
+//! catches the unwind, parks the payload in the result slot, and opens
+//! the latch; the waiting creator re-raises it with
+//! [`std::panic::resume_unwind`], so a panic message survives the trip
+//! through the pool intact.
+
+use std::cell::UnsafeCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use crate::registry::Registry;
+
+/// Something a [`StackJob`] can signal completion on.
+pub(crate) trait Latch {
+    /// Mark the job complete and wake whoever is waiting on it.
+    fn set(&self);
+}
+
+/// A latch waited on by a **pool worker** while it keeps helping with
+/// other jobs: a plain atomic flag, with the wake routed through the
+/// registry's sleep generation so parked helpers notice promptly.
+pub(crate) struct CoreLatch {
+    opened: AtomicBool,
+    registry: &'static Registry,
+}
+
+impl CoreLatch {
+    pub(crate) fn new(registry: &'static Registry) -> CoreLatch {
+        CoreLatch {
+            opened: AtomicBool::new(false),
+            registry,
+        }
+    }
+
+    /// Has the latch been set? (`SeqCst` pairs with the sleeper counter —
+    /// see `Registry::notify` — so a set can never race past a parking
+    /// waiter.)
+    pub(crate) fn probe(&self) -> bool {
+        self.opened.load(Ordering::SeqCst)
+    }
+}
+
+impl Latch for CoreLatch {
+    fn set(&self) {
+        self.opened.store(true, Ordering::SeqCst);
+        self.registry.notify_latch();
+    }
+}
+
+/// A latch waited on by an **external caller** (a thread that is not a
+/// pool worker and therefore cannot help): an ordinary mutex + condvar
+/// pair, blocking until a worker finishes the injected root job.
+pub(crate) struct LockLatch {
+    opened: Mutex<bool>,
+    cond: Condvar,
+}
+
+impl LockLatch {
+    pub(crate) fn new() -> LockLatch {
+        LockLatch {
+            opened: Mutex::new(false),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Block the calling thread until the latch opens.
+    pub(crate) fn wait(&self) {
+        let mut opened = self.opened.lock().expect("latch mutex");
+        while !*opened {
+            opened = self.cond.wait(opened).expect("latch condvar");
+        }
+    }
+}
+
+impl Latch for LockLatch {
+    fn set(&self) {
+        *self.opened.lock().expect("latch mutex") = true;
+        self.cond.notify_all();
+    }
+}
+
+/// Internal trait of executable, type-erasable jobs.
+pub(crate) trait Job {
+    /// Execute the job behind the erased pointer.
+    ///
+    /// # Safety
+    /// `this` must point to a live job that has not been executed yet,
+    /// and at most one thread may ever call this for a given job.
+    unsafe fn execute(this: *const Self);
+}
+
+/// A type-erased, `Send`able handle to a job owned by some stack frame.
+pub(crate) struct JobRef {
+    pointer: *const (),
+    execute_fn: unsafe fn(*const ()),
+}
+
+// Safety: a JobRef is only ever executed once, and the pointee is kept
+// alive by its creator until the job's latch opens (the deque/injector
+// protocols in `registry.rs` guarantee execute-once; the creators in
+// `join`/`run_ordered` guarantee liveness).
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// Erase a concrete job.
+    ///
+    /// # Safety
+    /// The caller must keep `data` alive and un-moved until the job has
+    /// been executed (or the `JobRef` provably dropped unexecuted).
+    pub(crate) unsafe fn new<T: Job>(data: *const T) -> JobRef {
+        unsafe fn execute_shim<T: Job>(pointer: *const ()) {
+            T::execute(pointer as *const T)
+        }
+        JobRef {
+            pointer: data as *const (),
+            execute_fn: execute_shim::<T>,
+        }
+    }
+
+    /// Identity of the underlying job (used by the LIFO pop-back check).
+    pub(crate) fn id(&self) -> *const () {
+        self.pointer
+    }
+
+    /// Run the job.
+    ///
+    /// # Safety
+    /// See [`Job::execute`]; consuming `self` enforces at most one call
+    /// per `JobRef`, and the deque protocols ensure each job yields at
+    /// most one `JobRef` to an executor.
+    pub(crate) unsafe fn execute(self) {
+        (self.execute_fn)(self.pointer)
+    }
+}
+
+/// A job allocated on the creator's stack: the closure, a slot for its
+/// result (or panic payload), and the latch the creator waits on.
+pub(crate) struct StackJob<L, F, R>
+where
+    L: Latch,
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    latch: L,
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<std::thread::Result<R>>>,
+}
+
+impl<L, F, R> StackJob<L, F, R>
+where
+    L: Latch,
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    pub(crate) fn new(func: F, latch: L) -> StackJob<L, F, R> {
+        StackJob {
+            latch,
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(None),
+        }
+    }
+
+    pub(crate) fn latch(&self) -> &L {
+        &self.latch
+    }
+
+    /// Erase this job for queueing.
+    ///
+    /// # Safety
+    /// The caller must keep `self` alive until the latch opens or the
+    /// returned `JobRef` is popped back unexecuted.
+    pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
+        JobRef::new(self)
+    }
+
+    /// Run the closure on the creating thread (the LIFO pop-back path,
+    /// when the job was never stolen). Panics propagate directly, as in
+    /// the plain sequential call.
+    pub(crate) fn run_inline(&self) -> R {
+        let func = unsafe { (*self.func.get()).take() }.expect("job already executed");
+        func()
+    }
+
+    /// Take the result stored by a thief.
+    ///
+    /// # Safety
+    /// Only call after the latch has opened (which orders the thief's
+    /// result write before this read).
+    pub(crate) unsafe fn take_result(&self) -> std::thread::Result<R> {
+        (*self.result.get()).take().expect("job result missing")
+    }
+}
+
+impl<L, F, R> Job for StackJob<L, F, R>
+where
+    L: Latch,
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    unsafe fn execute(this: *const Self) {
+        let this = &*this;
+        let func = (*this.func.get()).take().expect("job executed twice");
+        let result = panic::catch_unwind(AssertUnwindSafe(func));
+        *this.result.get() = Some(result);
+        this.latch.set();
+    }
+}

@@ -1,34 +1,60 @@
-//! Offline stand-in for `rayon` — with a real thread pool.
+//! Offline stand-in for `rayon` — with a resident work-stealing pool.
 //!
 //! The workspace vendors API-subset stand-ins so it builds without a
 //! network. Through PR 1 this crate's `par_iter()` simply returned the
-//! sequential iterator; it now runs the chain on a **scoped-thread,
-//! chunk-dealing executor** (see [`pool`]) while keeping the same calling
-//! surface, so `jobs.par_iter().map(run_one).collect()` actually uses the
-//! machine.
+//! sequential iterator; PR 2 made it a scoped-thread chunk-dealing
+//! executor that re-spawned its workers on every drive; it now runs on a
+//! **resident work-stealing pool**: workers are spawned lazily on first
+//! use, park between drives, and each owns a chunk deque with LIFO
+//! self-pop and FIFO steal fed through [`join`] split points (see
+//! [`pool`] and the `registry`/`deque` internals). The calling surface
+//! is unchanged — `jobs.par_iter().map(run_one).collect()` — but nested
+//! drives (a parallel experiment matrix whose cells generate sharded
+//! traces in parallel) now *subdivide* onto the same workers instead of
+//! serializing or re-spawning, and repeated fine-grained drives stop
+//! paying a thread-spawn per call.
 //!
 //! Guarantees, in order of importance to this workspace:
 //!
 //! * **Determinism / order preservation** — `map`/`flat_map`/`collect`
-//!   return items in input order at *any* thread count. Simulation results
-//!   never depend on scheduling; `RISA_THREADS=1` and `--jobs 8` produce
-//!   byte-identical reports (asserted by `crates/sim/tests/determinism.rs`).
-//! * **Sizing & overrides** — the pool defaults to
+//!   return items in input order at *any* thread count, at *any* nesting
+//!   depth: every split leaf writes its own pre-carved slice of the
+//!   output. Simulation results never depend on scheduling;
+//!   `RISA_THREADS=1` and `--jobs 8` produce byte-identical reports
+//!   (asserted by `crates/sim/tests/determinism.rs` and this crate's
+//!   `tests/pool_props.rs` battery).
+//! * **Sizing & overrides** — drives default to
 //!   [`std::thread::available_parallelism`]; `RISA_THREADS` overrides it
 //!   per process, [`set_num_threads`] (the CLI's `--jobs`) overrides that,
 //!   and [`with_num_threads`] pins the count for one closure on the
-//!   calling thread (used by tests).
+//!   calling thread (used by tests). The pool itself only grows — to the
+//!   widest width any drive has asked for — and never re-spawns
+//!   ([`total_worker_spawns`] is the test hook; `tests/lifecycle.rs`
+//!   pins the semantics).
+//! * **Deadlock freedom for nested drives** — a frame waiting on a
+//!   stolen piece *helps*: it keeps executing queued jobs (including the
+//!   inner drive's own leaves) until its latch opens.
 //! * **Panic propagation** — a panic in a worker closure is re-raised on
-//!   the caller after the scope joins, like real rayon.
+//!   the drive's caller with its payload intact, however deep the
+//!   nesting, like real rayon.
 //!
 //! Swapping real rayon back in remains a manifest-only change for the
-//! `prelude` call sites; [`set_num_threads`]/[`with_num_threads`] are the
-//! only knobs that would need porting (to `ThreadPoolBuilder`).
+//! `prelude` and [`join`] call sites; [`set_num_threads`] /
+//! [`with_num_threads`] are the only knobs that would need porting (to
+//! `ThreadPoolBuilder`), and [`warm_up`] / the spawn counters would map
+//! to building the global pool eagerly.
 
+mod deque;
 pub mod iter;
+mod job;
 pub mod pool;
+mod registry;
 
-pub use pool::{current_num_threads, set_num_threads, with_num_threads};
+pub use pool::{
+    current_num_threads, resident_workers, set_num_threads, total_worker_spawns, warm_up,
+    with_num_threads,
+};
+pub use registry::join;
 
 /// Drop-in for `rayon::prelude`.
 pub mod prelude {

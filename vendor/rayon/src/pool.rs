@@ -1,25 +1,34 @@
-//! Pool sizing and the scoped-thread chunk-dealing executor.
+//! Pool sizing and the ordered parallel drive on the resident pool.
 //!
-//! There is no resident pool: each top-level parallel drive spawns scoped
-//! worker threads ([`std::thread::scope`]), which keeps the crate
-//! dependency-free and makes every borrow a plain lifetime — no `Arc`, no
-//! channels. Workers *deal* themselves chunks of the index space from a
-//! shared atomic cursor, so an early-finishing worker immediately picks up
-//! the next unclaimed chunk (the load-balancing half of work-stealing
-//! without per-deque theft). Results are tagged with their input index and
-//! re-sorted before they are returned, which is what makes the executor
-//! deterministic: the output order — and therefore anything folded from it
-//! — is identical at any thread count.
+//! As of the resident-pool rewrite there is exactly one pool per
+//! process, created lazily on the first parallel drive and kept parked
+//! between drives (see the `registry` module internals — workers are
+//! never re-spawned; [`total_worker_spawns`] proves it). A drive splits its
+//! index space recursively with [`crate::join`] down to a grain of a
+//! few indices, and every leaf writes into its own pre-carved slice of
+//! the output slots, so the result is assembled **in input-index order
+//! by construction** — the executor stays byte-for-byte deterministic
+//! at any thread count, nested or not.
 //!
 //! Thread-count resolution, most specific wins:
 //! 1. a [`with_num_threads`] scope on the calling thread,
 //! 2. the process-wide [`set_num_threads`] value (the CLI's `--jobs`),
 //! 3. the `RISA_THREADS` environment variable (read once, cached),
 //! 4. [`std::thread::available_parallelism`].
+//!
+//! The resolved width of a drive controls how many resident workers the
+//! registry guarantees exist, how finely the drive's index space is
+//! split, and what [`current_num_threads`] reports inside the drive's
+//! closures. It does **not** evict other drives: when several drives
+//! with different widths overlap, an idle resident worker may help any
+//! of them — that only moves wall-clock time, never a result.
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
+
+use crate::job::{LockLatch, StackJob};
+use crate::registry;
 
 /// Process-wide override set by [`set_num_threads`]; 0 = unset.
 static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
@@ -40,7 +49,7 @@ fn env_threads() -> usize {
     })
 }
 
-/// The number of worker threads a parallel drive started now would use.
+/// The width a parallel drive started now would use.
 pub fn current_num_threads() -> usize {
     let local = LOCAL_THREADS.with(Cell::get);
     if local != 0 {
@@ -60,6 +69,12 @@ pub fn current_num_threads() -> usize {
 /// Set the process-wide thread count (the CLI's `--jobs` lands here).
 /// Values are clamped to at least 1; results are unaffected either way —
 /// only wall-clock time changes.
+///
+/// Resident-pool semantics (asserted by `tests/lifecycle.rs`): the value
+/// applies to **subsequent drives**. Growing the width makes the next
+/// drive lazily spawn the missing workers; shrinking it narrows future
+/// drives (their splitting and reported [`current_num_threads`]) but
+/// never tears down already-resident workers — the pool only grows.
 pub fn set_num_threads(n: usize) {
     GLOBAL_THREADS.store(n.max(1), Ordering::Relaxed);
 }
@@ -67,7 +82,8 @@ pub fn set_num_threads(n: usize) {
 /// Run `f` with the pool pinned to `n` threads **on this thread only**,
 /// restoring the previous setting afterwards (panic-safe). This is the
 /// test-friendly override: concurrent tests in the same process don't see
-/// each other's pins.
+/// each other's pins, even while the resident pool is live on other
+/// threads.
 pub fn with_num_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
     struct Restore(usize);
     impl Drop for Restore {
@@ -84,26 +100,55 @@ pub fn with_num_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
     f()
 }
 
+/// Pre-spawn the resident workers the current width calls for, so the
+/// first timed drive of a bench (or the first cell of a CLI sweep) does
+/// not pay the one-off thread-spawn cost inside its measurement.
+/// Idempotent and cheap once the pool is warm.
+pub fn warm_up() {
+    let width = current_num_threads();
+    if width > 1 {
+        registry::global().ensure_workers(width);
+    }
+}
+
+/// Total pool workers ever spawned by this process (monotone). Equal to
+/// [`resident_workers`] because resident workers never exit; the
+/// lifecycle tests assert the counter stays flat across repeated drives
+/// — the "workers are reused, not re-spawned" contract.
+pub fn total_worker_spawns() -> usize {
+    registry::global().spawn_count()
+}
+
+/// Workers currently resident (parked or running). The pool only grows:
+/// this is the widest width any drive has needed so far.
+pub fn resident_workers() -> usize {
+    registry::global().spawn_count()
+}
+
 /// Evaluate `fill(i, …)` for every `i < len` and return the produced items
 /// in input-index order.
 ///
 /// With one thread (or one item) this degenerates to the plain sequential
 /// loop — `RISA_THREADS=1` exercises exactly the pre-pool code path.
-/// Otherwise workers claim chunks from an atomic cursor and buffer
-/// `(index, items)` pairs locally; the buffers are merged and sorted by
-/// index after the scope joins.
+/// Otherwise the index space is split recursively at [`crate::join`]
+/// points down to `grain` indices per leaf; each leaf fills its own
+/// disjoint sub-slice of the output slots, so reassembly is order-exact
+/// without any post-hoc sort. Called on a pool worker (a nested drive),
+/// the split runs directly on that worker's deque and sibling workers
+/// steal into it; called from an external thread, the whole split is
+/// injected as one root job and the caller blocks until the pool
+/// finishes it.
 ///
-/// Panics: if any `fill` call panics, the panic is re-raised on the caller
-/// once all workers have stopped (remaining chunks may or may not have
-/// been processed, but no partial result escapes).
+/// Panics: if any `fill` call panics, the panic is re-raised on the
+/// caller once the drive has come to rest (remaining leaves may or may
+/// not have run, but no partial result escapes).
 pub(crate) fn run_ordered<T, F>(len: usize, fill: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize, &mut Vec<T>) + Sync,
 {
     let width = current_num_threads();
-    let threads = width.min(len);
-    if threads <= 1 {
+    if width.min(len) <= 1 {
         let mut out = Vec::new();
         for i in 0..len {
             fill(i, &mut out);
@@ -111,54 +156,74 @@ where
         return out;
     }
 
-    // Small chunks keep the deal balanced when per-item cost is skewed
-    // (whole simulation runs); the clamp keeps cursor traffic negligible
-    // when items are tiny and plentiful.
-    let chunk = (len / (threads * 8)).clamp(1, 1024);
-    let cursor = AtomicUsize::new(0);
-    let fill = &fill;
+    // Small leaves keep the split balanced when per-item cost is skewed
+    // (whole simulation runs); the clamp keeps deque traffic negligible
+    // when items are tiny and plentiful. Split by the *executing* width
+    // (capped at MAX_WORKERS) — an absurd `--jobs`/`RISA_THREADS` value
+    // is still reported verbatim but must not overflow the arithmetic.
+    let split_width = width.min(registry::MAX_WORKERS);
+    let grain = (len / (split_width * 8)).clamp(1, 1024);
+    let mut slots: Vec<Option<Vec<T>>> = std::iter::repeat_with(|| None).take(len).collect();
 
-    let mut tagged: Vec<(usize, Vec<T>)> = std::thread::scope(|s| {
-        let workers: Vec<_> = (0..threads)
-            .map(|_| {
-                let cursor = &cursor;
-                // Workers inherit the caller's effective width (a fresh
-                // thread's local pin is unset), so a nested drive inside
-                // `fill` honours the caller's `with_num_threads` scope.
-                s.spawn(move || {
-                    with_num_threads(width, || {
-                        let mut local: Vec<(usize, Vec<T>)> = Vec::new();
-                        loop {
-                            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                            if start >= len {
-                                break;
-                            }
-                            for i in start..(start + chunk).min(len) {
-                                let mut items = Vec::new();
-                                fill(i, &mut items);
-                                local.push((i, items));
-                            }
-                        }
-                        local
-                    })
-                })
-            })
-            .collect();
-        let mut merged = Vec::with_capacity(len);
-        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
-        for worker in workers {
-            match worker.join() {
-                Ok(local) => merged.extend(local),
-                Err(payload) => panic = Some(payload),
-            }
-        }
-        if let Some(payload) = panic {
+    let reg = registry::global();
+    reg.ensure_workers(width);
+    if registry::current_worker_index().is_some() {
+        // Nested drive: this worker participates directly; its split
+        // jobs land on its own deque where siblings steal them.
+        split_fill(0, &mut slots, &fill, grain, width);
+    } else {
+        // External caller: inject the whole drive as one root job and
+        // block until a worker (and its thieves) finish it.
+        let slots_ref = &mut slots;
+        let fill_ref = &fill;
+        let job = StackJob::new(
+            move || split_fill(0, slots_ref, fill_ref, grain, width),
+            LockLatch::new(),
+        );
+        // Safety: `job` lives on this frame and we wait on its latch
+        // below before touching `slots` again or returning.
+        let job_ref = unsafe { job.as_job_ref() };
+        reg.inject(job_ref);
+        job.latch().wait();
+        // Safety: the latch opened, so the worker's result write (and
+        // every slot write) happens-before this read.
+        if let Err(payload) = unsafe { job.take_result() } {
             std::panic::resume_unwind(payload);
         }
-        merged
-    });
-    tagged.sort_unstable_by_key(|&(i, _)| i);
-    tagged.into_iter().flat_map(|(_, items)| items).collect()
+    }
+
+    slots
+        .into_iter()
+        .flat_map(|slot| slot.expect("drive completed, every slot filled"))
+        .collect()
+}
+
+/// Recursive half-splitting at `join` points. Each leaf owns a disjoint
+/// `&mut` sub-slice of the slots (carved by `split_at_mut`), which is
+/// what makes the parallel writes safe *and* input-ordered for free.
+/// Leaves run under the drive's width pin so closures — and any nested
+/// drive they start — observe the caller's effective width.
+fn split_fill<T, F>(base: usize, slots: &mut [Option<Vec<T>>], fill: &F, grain: usize, width: usize)
+where
+    T: Send,
+    F: Fn(usize, &mut Vec<T>) + Sync,
+{
+    if slots.len() <= grain {
+        with_num_threads(width, || {
+            for (offset, slot) in slots.iter_mut().enumerate() {
+                let mut items = Vec::new();
+                fill(base + offset, &mut items);
+                *slot = Some(items);
+            }
+        });
+        return;
+    }
+    let mid = slots.len() / 2;
+    let (lo, hi) = slots.split_at_mut(mid);
+    crate::registry::join(
+        || split_fill(base, lo, fill, grain, width),
+        || split_fill(base + mid, hi, fill, grain, width),
+    );
 }
 
 #[cfg(test)]
@@ -213,5 +278,25 @@ mod tests {
             })
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn warm_up_spawns_once_and_is_idempotent() {
+        with_num_threads(4, || {
+            warm_up();
+            let spawned = total_worker_spawns();
+            assert!(spawned >= 4);
+            warm_up();
+            assert_eq!(total_worker_spawns(), spawned);
+            assert_eq!(resident_workers(), spawned);
+        });
+    }
+
+    #[test]
+    fn join_off_pool_is_sequential_and_correct() {
+        // An external thread has no deque; join degenerates to calling
+        // both closures in order.
+        let (a, b) = crate::registry::join(|| 2 * 3, || "ok");
+        assert_eq!((a, b), (6, "ok"));
     }
 }

@@ -1,0 +1,338 @@
+//! The resident worker registry and the [`join`] scheduling primitive.
+//!
+//! One process-wide [`Registry`] is created lazily on first parallel
+//! drive and lives for the life of the process. Workers are spawned
+//! lazily too — `ensure_workers(n)` grows the pool to the widest width
+//! any drive has asked for and **never shrinks it**; between drives the
+//! workers park on a condvar, so repeated `par_iter` calls reuse the
+//! same OS threads instead of paying a spawn per drive (the
+//! [`Registry::spawn_count`] counter lets tests assert exactly that).
+//!
+//! Scheduling is classic work-stealing:
+//!
+//! * a worker looking for work pops its **own deque back** (LIFO),
+//!   then tries to **steal the front** (FIFO) of the other live workers'
+//!   deques starting from a rotating neighbour, then drains the global
+//!   [`Injector`];
+//! * [`join`] pushes its second closure onto the local deque, runs the
+//!   first inline, and then either pops the second straight back (not
+//!   stolen — the common, allocation-free case) or *helps* — executes
+//!   other pending jobs — until the thief opens the latch. Waiting
+//!   workers therefore never idle while runnable work exists, which is
+//!   also why nested drives cannot deadlock: the blocked frame keeps
+//!   executing whatever the pool still has queued, including the inner
+//!   drive's own leaves.
+//!
+//! Progress argument (why no configuration of nested `join`s can
+//! deadlock): a join frame only waits on jobs it transitively spawned,
+//! so the wait graph is a forest; any unfinished latch belongs to a job
+//! that is either queued — and every waiter's help loop scans *all*
+//! deques plus the injector, so it will be found — or currently running
+//! strictly younger work on some worker's stack, and by induction on
+//! depth that younger work finishes first.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+use crate::deque::{Injector, WorkerDeque};
+use crate::job::{CoreLatch, JobRef, StackJob};
+
+/// Hard cap on resident workers; deque slots are preallocated up to it.
+/// Far above any sane width (the CLI clamps to machine-scale counts) —
+/// widths beyond the cap still *report* their value and still chunk the
+/// index space by it, they just execute on at most this many threads.
+pub(crate) const MAX_WORKERS: usize = 128;
+
+/// How long a parked thread sleeps before rescanning on its own, as a
+/// belt-and-braces bound on any missed-wakeup window (pushes wake a
+/// single sleeper, so a consumed-elsewhere wake is repaired within one
+/// timeout; 10 ms of idle-rescan costs nothing measurable).
+const PARK_TIMEOUT: Duration = Duration::from_millis(10);
+
+/// Worker stacks: simulations run *inside* jobs, and a helping worker
+/// can nest several of them on one stack, so be generous (virtual
+/// memory only).
+const WORKER_STACK_BYTES: usize = 8 * 1024 * 1024;
+
+thread_local! {
+    /// Which resident worker this thread is, if any.
+    static WORKER_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Index of the calling thread within the pool, or `None` for external
+/// threads.
+pub(crate) fn current_worker_index() -> Option<usize> {
+    WORKER_INDEX.with(Cell::get)
+}
+
+/// The process-wide resident pool state.
+pub(crate) struct Registry {
+    /// Preallocated per-worker deques; `live` of them have threads.
+    deques: Vec<WorkerDeque>,
+    /// FIFO for root jobs injected by external (non-worker) threads.
+    injector: Injector,
+    /// Number of workers spawned so far. Monotone: workers never exit,
+    /// so this doubles as the lifetime spawn counter.
+    live: AtomicUsize,
+    /// Serializes pool growth.
+    spawn_lock: Mutex<()>,
+    /// Threads currently parked (or about to park) on `work_available`.
+    sleepers: AtomicUsize,
+    /// Wake generation: bumped on every notify so a parker that raced a
+    /// push can tell the world moved and rescan.
+    sleep_gen: Mutex<u64>,
+    work_available: Condvar,
+}
+
+/// The lazily-created process-wide registry.
+pub(crate) fn global() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::new)
+}
+
+impl Registry {
+    fn new() -> Registry {
+        Registry {
+            deques: (0..MAX_WORKERS).map(|_| WorkerDeque::new()).collect(),
+            injector: Injector::new(),
+            live: AtomicUsize::new(0),
+            spawn_lock: Mutex::new(()),
+            sleepers: AtomicUsize::new(0),
+            sleep_gen: Mutex::new(0),
+            work_available: Condvar::new(),
+        }
+    }
+
+    /// Total workers ever spawned == workers currently resident (they
+    /// never exit). The pool-lifecycle tests assert this stays flat
+    /// across repeated drives.
+    pub(crate) fn spawn_count(&self) -> usize {
+        self.live.load(Ordering::Acquire)
+    }
+
+    /// Grow the pool to at least `n` resident workers (capped at
+    /// [`MAX_WORKERS`]); never shrinks.
+    pub(crate) fn ensure_workers(&'static self, n: usize) {
+        let n = n.min(MAX_WORKERS);
+        if self.live.load(Ordering::Acquire) >= n {
+            return;
+        }
+        let _guard = self.spawn_lock.lock().expect("spawn lock");
+        let current = self.live.load(Ordering::Acquire);
+        for index in current..n {
+            std::thread::Builder::new()
+                .name(format!("risa-pool-{index}"))
+                .stack_size(WORKER_STACK_BYTES)
+                .spawn(move || self.worker_loop(index))
+                .expect("spawn resident pool worker");
+        }
+        if n > current {
+            self.live.store(n, Ordering::Release);
+        }
+    }
+
+    /// Queue a root job from an external thread and wake the pool.
+    pub(crate) fn inject(&self, job: JobRef) {
+        self.injector.push(job);
+        self.notify(false);
+    }
+
+    /// Owner-side push onto worker `index`'s deque, waking one thief.
+    pub(crate) fn push_local(&self, index: usize, job: JobRef) {
+        self.deques[index].push_back(job);
+        self.notify(false);
+    }
+
+    /// Wake a parked thread (or, for `all`, every parked thread) if
+    /// there are any. The `SeqCst` sleeper count pairs with the park
+    /// protocol (register; read generation; rescan; sleep only if the
+    /// generation is unchanged): if we read zero sleepers here, the
+    /// parker had not yet registered, so its subsequent rescan observes
+    /// whatever we published before calling `notify`.
+    ///
+    /// Pushes wake **one** sleeper — one new job needs one thief, and a
+    /// narrow drive over a wide warm pool must not stampede every parked
+    /// worker per split. Latch openings wake **all** sleepers: the one
+    /// waiter that cares is some specific thread, and the condvar cannot
+    /// target it; everyone else re-parks after a cheap generation check.
+    /// The park timeout bounds any wake that still slips through.
+    fn notify(&self, all: bool) {
+        if self.sleepers.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let mut generation = self.sleep_gen.lock().expect("sleep mutex");
+        *generation = generation.wrapping_add(1);
+        if all {
+            self.work_available.notify_all();
+        } else {
+            self.work_available.notify_one();
+        }
+    }
+
+    /// Latch-opening wake: see [`Registry::notify`].
+    pub(crate) fn notify_latch(&self) {
+        self.notify(true);
+    }
+
+    /// Find one runnable job: own deque back (LIFO), then steal the
+    /// other live workers' fronts (FIFO, rotating start), then the
+    /// global injector.
+    fn find_job(&self, index: usize) -> Option<JobRef> {
+        if let Some(job) = self.deques[index].pop_back() {
+            return Some(job);
+        }
+        let live = self.live.load(Ordering::Acquire);
+        for offset in 1..live {
+            let victim = (index + offset) % live;
+            if let Some(job) = self.deques[victim].steal_front() {
+                return Some(job);
+            }
+        }
+        self.injector.pop()
+    }
+
+    /// One scheduling round for worker `index`: execute one available
+    /// job, or park until work may exist (or `latch` opens).
+    fn round(&'static self, index: usize, latch: Option<&CoreLatch>) {
+        if let Some(job) = self.find_job(index) {
+            unsafe { job.execute() };
+            return;
+        }
+        let opened = || latch.is_some_and(CoreLatch::probe);
+        // Park protocol: register as a sleeper FIRST, then capture the
+        // generation, then rescan. A push that missed our registration
+        // happened before it, so the rescan sees its job; a push after
+        // it sees sleepers > 0 and bumps the generation.
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        let seen = *self.sleep_gen.lock().expect("sleep mutex");
+        if let Some(job) = self.find_job(index) {
+            self.sleepers.fetch_sub(1, Ordering::SeqCst);
+            unsafe { job.execute() };
+            return;
+        }
+        if opened() {
+            self.sleepers.fetch_sub(1, Ordering::SeqCst);
+            return;
+        }
+        let mut generation = self.sleep_gen.lock().expect("sleep mutex");
+        while *generation == seen && !opened() {
+            let (next, timeout) = self
+                .work_available
+                .wait_timeout(generation, PARK_TIMEOUT)
+                .expect("sleep condvar");
+            generation = next;
+            if timeout.timed_out() {
+                break;
+            }
+        }
+        drop(generation);
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Help-while-waiting: keep executing pool jobs until `latch`
+    /// opens. This is what makes blocked `join` frames productive and
+    /// nested drives deadlock-free.
+    pub(crate) fn wait_until(&'static self, index: usize, latch: &CoreLatch) {
+        while !latch.probe() {
+            self.round(index, Some(latch));
+        }
+    }
+
+    /// A resident worker's whole life: run jobs, park when idle, never
+    /// exit. (Workers are leaked by design; process teardown reaps
+    /// them. There is deliberately no shutdown protocol to get wrong.)
+    fn worker_loop(&'static self, index: usize) {
+        WORKER_INDEX.with(|cell| cell.set(Some(index)));
+        loop {
+            self.round(index, None);
+        }
+    }
+}
+
+/// Run `oper_a` and `oper_b`, potentially in parallel, and return both
+/// results — the split point the deque scheduler subdivides work at.
+///
+/// On a pool worker, `oper_b` is pushed onto the worker's own deque
+/// (where an idle sibling can steal it FIFO) while `oper_a` runs
+/// inline; if nobody stole `oper_b`, it is popped straight back (LIFO)
+/// and run inline too, so an uncontended `join` costs two mutexed deque
+/// operations and no synchronization beyond that. On an external
+/// thread there is no deque to split against, so the closures simply
+/// run sequentially — `par_iter` drives never hit that case, because
+/// their root is injected into the pool first.
+///
+/// If either closure panics, the panic is re-raised on the caller after
+/// both closures have come to rest (a stolen `oper_b` is always waited
+/// for, even when `oper_a` panicked, so no stack borrow outlives its
+/// frame); when both panic, `oper_a`'s payload wins, like real rayon.
+///
+/// ```
+/// let (a, b) = rayon::join(|| 1 + 1, || 2 + 2);
+/// assert_eq!((a, b), (2, 4));
+/// ```
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    match current_worker_index() {
+        Some(index) => join_on_worker(index, oper_a, oper_b),
+        None => {
+            let ra = oper_a();
+            let rb = oper_b();
+            (ra, rb)
+        }
+    }
+}
+
+fn join_on_worker<A, B, RA, RB>(index: usize, oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let registry = global();
+    let job_b = StackJob::new(oper_b, CoreLatch::new(registry));
+    // Safety: job_b outlives the JobRef — every path below either pops
+    // it back unexecuted or waits on its latch before the frame ends.
+    let job_b_ref = unsafe { job_b.as_job_ref() };
+    let job_b_id = job_b_ref.id();
+    registry.push_local(index, job_b_ref);
+
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(oper_a)) {
+        Err(payload) => {
+            // `oper_a` panicked. Reclaim `oper_b` before unwinding: if
+            // it is still ours it simply never runs; if a thief has it,
+            // wait for the thief (its result, panic or not, is dropped —
+            // `oper_a`'s panic wins).
+            if !registry.deques[index].pop_back_if(job_b_id) {
+                registry.wait_until(index, job_b.latch());
+                let _ = unsafe { job_b.take_result() };
+            }
+            std::panic::resume_unwind(payload);
+        }
+        Ok(ra) => {
+            if registry.deques[index].pop_back_if(job_b_id) {
+                // Not stolen: run it here. LIFO discipline guarantees
+                // the back of our deque is `job_b` iff it is still
+                // queued — everything pushed during `oper_a` was popped
+                // or stolen-and-awaited before `oper_a` returned.
+                let rb = job_b.run_inline();
+                (ra, rb)
+            } else {
+                registry.wait_until(index, job_b.latch());
+                // Safety: latch opened, so the thief's write to the
+                // result slot happens-before this read.
+                match unsafe { job_b.take_result() } {
+                    Ok(rb) => (ra, rb),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        }
+    }
+}

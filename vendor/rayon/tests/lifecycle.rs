@@ -1,0 +1,148 @@
+//! Pool-lifecycle battery: residency (drives reuse workers — proven by
+//! the spawn counter, not timing), `with_num_threads` pinning while the
+//! pool is live on other threads, and the documented `set_num_threads`
+//! semantics (applies to subsequent drives; the pool only grows).
+//!
+//! Every test in this binary keeps its width ≤ 8 and starts by warming
+//! the pool to 8, so the process-global spawn counter is stable no
+//! matter how the test harness orders or overlaps the tests.
+
+use rayon::prelude::*;
+use rayon::with_num_threads;
+
+/// Warm the shared pool to this binary's maximum width.
+fn warm() {
+    with_num_threads(8, rayon::warm_up);
+}
+
+#[test]
+fn repeated_drives_reuse_resident_workers() {
+    warm();
+    let spawned = rayon::total_worker_spawns();
+    assert!(spawned >= 8, "warm-up must have spawned the pool");
+    let input: Vec<u64> = (0..512).collect();
+    let expect: Vec<u64> = input.iter().map(|&x| x * 3 + 1).collect();
+    for round in 0..50 {
+        let width = 2 + round % 7; // 2..=8, varying per drive
+        let got: Vec<u64> =
+            with_num_threads(width, || input.par_iter().map(|&x| x * 3 + 1).collect());
+        assert_eq!(got, expect, "round={round}");
+    }
+    assert_eq!(
+        rayon::total_worker_spawns(),
+        spawned,
+        "50 drives at varying widths must reuse the resident workers, not re-spawn"
+    );
+    assert_eq!(rayon::resident_workers(), rayon::total_worker_spawns());
+}
+
+#[test]
+fn with_num_threads_pins_per_thread_while_the_pool_is_live_elsewhere() {
+    warm();
+    // Two external threads drive the shared resident pool concurrently
+    // with different pins; each must observe exactly its own width
+    // inside its closures, and both must get order-exact results.
+    let driver = |pin: usize| {
+        move || {
+            let input: Vec<u64> = (0..256).collect();
+            let expect: Vec<u64> = input.iter().map(|&x| x ^ pin as u64).collect();
+            for _ in 0..30 {
+                let (widths, values): (Vec<usize>, Vec<u64>) = with_num_threads(pin, || {
+                    let pairs: Vec<(usize, u64)> = input
+                        .par_iter()
+                        .map(|&x| (rayon::current_num_threads(), x ^ pin as u64))
+                        .collect();
+                    pairs.into_iter().unzip()
+                });
+                assert!(
+                    widths.iter().all(|&w| w == pin),
+                    "pin {pin} leaked: saw widths {:?}",
+                    widths.iter().collect::<std::collections::BTreeSet<_>>()
+                );
+                assert_eq!(values, expect, "pin={pin}");
+            }
+        }
+    };
+    let a = std::thread::spawn(driver(2));
+    let b = std::thread::spawn(driver(5));
+    a.join().expect("driver a");
+    b.join().expect("driver b");
+}
+
+#[test]
+fn set_num_threads_applies_to_subsequent_drives_and_never_shrinks_the_pool() {
+    warm();
+    let resident_before = rayon::resident_workers();
+
+    // Growing (within this binary's ≤8 envelope): subsequent drives see
+    // the new width.
+    rayon::set_num_threads(6);
+    assert_eq!(rayon::current_num_threads(), 6);
+    let input: Vec<u64> = (0..128).collect();
+    let widths: Vec<usize> = input
+        .par_iter()
+        .map(|_| rayon::current_num_threads())
+        .collect();
+    assert!(widths.iter().all(|&w| w == 6), "{widths:?}");
+
+    // Shrinking: future drives narrow, but resident workers stay.
+    rayon::set_num_threads(2);
+    let widths: Vec<usize> = input
+        .par_iter()
+        .map(|_| rayon::current_num_threads())
+        .collect();
+    assert!(widths.iter().all(|&w| w == 2), "{widths:?}");
+    assert!(
+        rayon::resident_workers() >= resident_before,
+        "set_num_threads must never tear down resident workers"
+    );
+
+    // A thread-local pin still beats the global value.
+    with_num_threads(7, || assert_eq!(rayon::current_num_threads(), 7));
+
+    // Leave the binary in its warm, wide state for sibling tests.
+    rayon::set_num_threads(8);
+}
+
+#[test]
+fn tiny_and_empty_drives_on_a_warm_pool() {
+    warm();
+    with_num_threads(8, || {
+        let empty: Vec<u64> = Vec::new();
+        let got: Vec<u64> = empty.par_iter().map(|&x| x).collect();
+        assert!(got.is_empty());
+        let one = [41u64];
+        let got: Vec<u64> = one.as_slice().par_iter().map(|&x| x + 1).collect();
+        assert_eq!(got, [42]);
+    });
+}
+
+#[test]
+fn a_panicked_drive_leaves_the_pool_usable() {
+    warm();
+    let spawned = rayon::total_worker_spawns();
+    let result = std::panic::catch_unwind(|| {
+        with_num_threads(4, || {
+            let v: Vec<u64> = (0..64).collect();
+            let _: Vec<u64> = v
+                .par_iter()
+                .map(|&x| if x == 17 { panic!("dead drive") } else { x })
+                .collect();
+        })
+    });
+    assert!(result.is_err());
+    // The panic is contained to the drive: same workers, next drive fine.
+    let got: Vec<u64> = with_num_threads(4, || {
+        (0..64)
+            .collect::<Vec<u64>>()
+            .par_iter()
+            .map(|&x| x)
+            .collect()
+    });
+    assert_eq!(got, (0..64).collect::<Vec<u64>>());
+    assert_eq!(
+        rayon::total_worker_spawns(),
+        spawned,
+        "a panicked drive must not cost (or kill) workers"
+    );
+}

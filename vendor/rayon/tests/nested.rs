@@ -1,0 +1,208 @@
+//! Nested-drive battery: `par_iter` inside `par_iter` — the experiment
+//! matrix × sharded-trace-generation shape — must subdivide onto the
+//! resident workers, preserve order at both levels, and re-raise inner
+//! panics at the outer caller with their payload intact.
+
+use rayon::prelude::*;
+use rayon::with_num_threads;
+use std::time::Duration;
+
+/// Reference value for outer cell `i`, inner item `j`.
+fn cell(i: u64, j: u64) -> u64 {
+    i.wrapping_mul(1_000_003).wrapping_add(j * 7)
+}
+
+#[test]
+fn nested_collect_preserves_order_at_both_levels() {
+    let outer: Vec<u64> = (0..24).collect();
+    let expect: Vec<Vec<u64>> = outer
+        .iter()
+        .map(|&i| (0..12).map(|j| cell(i, j)).collect())
+        .collect();
+    for threads in [2, 4, 8] {
+        let got: Vec<Vec<u64>> = with_num_threads(threads, || {
+            outer
+                .par_iter()
+                .map(|&i| {
+                    let inner: Vec<u64> = (0..12).collect();
+                    // The inner drive runs on the same resident workers.
+                    inner.par_iter().map(|&j| cell(i, j)).collect()
+                })
+                .collect()
+        });
+        assert_eq!(got, expect, "threads={threads}");
+    }
+}
+
+#[test]
+fn three_deep_nesting_completes_and_preserves_order() {
+    let expect: Vec<u64> = (0..8)
+        .flat_map(|i| (0..4).flat_map(move |j| (0..3).map(move |k| cell(i, j) ^ k)))
+        .collect();
+    let got: Vec<u64> = with_num_threads(4, || {
+        let outer: Vec<u64> = (0..8).collect();
+        outer
+            .par_iter()
+            .flat_map(|&i| {
+                let mid: Vec<u64> = (0..4).collect();
+                mid.par_iter()
+                    .flat_map(|&j| {
+                        let leaf: Vec<u64> = (0..3).collect();
+                        leaf.par_iter()
+                            .map(|&k| cell(i, j) ^ k)
+                            .collect::<Vec<u64>>()
+                    })
+                    .collect::<Vec<u64>>()
+            })
+            .collect()
+    });
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn nested_drives_complete_on_a_saturated_pool() {
+    // Width 2 with 4×4 nested cells: more in-flight drives than workers.
+    // The blocked outer frames must help with the inner leaves instead
+    // of deadlocking. Completion (with correct results) is the assertion.
+    let got: Vec<Vec<u64>> = with_num_threads(2, || {
+        let outer: Vec<u64> = (0..4).collect();
+        outer
+            .par_iter()
+            .map(|&i| {
+                let inner: Vec<u64> = (0..4).collect();
+                inner
+                    .par_iter()
+                    .map(|&j| {
+                        std::thread::sleep(Duration::from_millis(2));
+                        cell(i, j)
+                    })
+                    .collect()
+            })
+            .collect()
+    });
+    let expect: Vec<Vec<u64>> = (0..4)
+        .map(|i| (0..4).map(|j| cell(i, j)).collect())
+        .collect();
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn nested_drives_subdivide_instead_of_serializing() {
+    // 2 outer cells × 8 inner jobs at width 8. If the inner drives
+    // serialized (outer-level parallelism only), at most 2 inner leaves
+    // — one per outer cell — could ever be in flight at once. With true
+    // subdivision, the stolen inner leaves overlap across workers, so
+    // the peak in-flight count climbs well past 2. Asserted with a
+    // concurrency high-water mark, not wall-clock (sleeps only hold the
+    // overlap window open; a loaded CI machine can stretch time without
+    // changing the count).
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let in_flight = AtomicUsize::new(0);
+    let peak = AtomicUsize::new(0);
+    let got: Vec<Vec<u64>> = with_num_threads(8, || {
+        let outer: Vec<u64> = (0..2).collect();
+        outer
+            .par_iter()
+            .map(|&i| {
+                let inner: Vec<u64> = (0..8).collect();
+                inner
+                    .par_iter()
+                    .map(|&j| {
+                        let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                        peak.fetch_max(now, Ordering::SeqCst);
+                        std::thread::sleep(Duration::from_millis(20));
+                        in_flight.fetch_sub(1, Ordering::SeqCst);
+                        cell(i, j)
+                    })
+                    .collect()
+            })
+            .collect()
+    });
+    let expect: Vec<Vec<u64>> = (0..2)
+        .map(|i| (0..8).map(|j| cell(i, j)).collect())
+        .collect();
+    assert_eq!(got, expect);
+    let peak = peak.load(Ordering::SeqCst);
+    assert!(
+        peak > 2,
+        "nested drives must subdivide across workers (peak {peak} concurrent \
+         inner leaves; serialized nesting cannot exceed 2)"
+    );
+}
+
+#[test]
+fn inner_panic_reraises_at_the_outer_caller_with_message_intact() {
+    let result = std::panic::catch_unwind(|| {
+        with_num_threads(4, || {
+            let outer: Vec<u64> = (0..8).collect();
+            let _: Vec<Vec<u64>> = outer
+                .par_iter()
+                .map(|&i| {
+                    let inner: Vec<u64> = (0..8).collect();
+                    inner
+                        .par_iter()
+                        .map(|&j| {
+                            if i == 5 && j == 3 {
+                                panic!("inner boom at cell ({i}, {j})");
+                            }
+                            cell(i, j)
+                        })
+                        .collect()
+                })
+                .collect();
+        })
+    });
+    let payload = result.expect_err("inner panic must re-raise at the outer caller");
+    let message = payload
+        .downcast_ref::<String>()
+        .expect("panic payload must survive the pool as its original String");
+    assert!(
+        message.contains("inner boom at cell (5, 3)"),
+        "payload lost its message: {message:?}"
+    );
+}
+
+#[test]
+fn join_inside_a_drive_splits_on_the_worker_deque() {
+    // Explicit `join` split points compose with `par_iter` drives: the
+    // closure runs on a pool worker, so join takes the deque path.
+    let got: Vec<(u64, u64)> = with_num_threads(4, || {
+        let v: Vec<u64> = (0..64).collect();
+        v.par_iter()
+            .map(|&x| rayon::join(move || x + 1, move || x * 2))
+            .collect()
+    });
+    let expect: Vec<(u64, u64)> = (0..64).map(|x| (x + 1, x * 2)).collect();
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn join_propagates_panics_from_either_side() {
+    let err_a = std::panic::catch_unwind(|| {
+        with_num_threads(2, || {
+            let v: Vec<u64> = (0..4).collect();
+            let _: Vec<u64> = v
+                .par_iter()
+                .map(|&x| rayon::join(move || panic!("side a {x}"), move || x).1)
+                .collect();
+        })
+    })
+    .expect_err("side-a panic must propagate");
+    assert!(err_a
+        .downcast_ref::<String>()
+        .is_some_and(|m| m.contains("side a")));
+
+    let err_b = std::panic::catch_unwind(|| {
+        with_num_threads(2, || {
+            let v: Vec<u64> = (0..4).collect();
+            let _: Vec<u64> = v
+                .par_iter()
+                .map(|&x| rayon::join(move || x, move || -> u64 { panic!("side b {x}") }).0)
+                .collect();
+        })
+    })
+    .expect_err("side-b panic must propagate");
+    assert!(err_b
+        .downcast_ref::<String>()
+        .is_some_and(|m| m.contains("side b")));
+}

@@ -1,0 +1,104 @@
+//! Property battery for the resident pool: for arbitrary job counts,
+//! per-item cost skews, and thread counts, every consuming method of the
+//! `par_iter` surface must equal its sequential counterpart exactly.
+//!
+//! This is the executor half of the workspace's determinism contract
+//! (the simulation half lives in `crates/sim/tests/determinism.rs`):
+//! order preservation and result equality may not depend on how many
+//! workers run, how unevenly the items cost, or how the split tree gets
+//! stolen. Skews deliberately concentrate cost on sparse indices so
+//! early chunks finish long before late ones and stolen subtrees
+//! complete out of input order — the reassembly must hide all of it.
+
+use proptest::prelude::*;
+use rayon::prelude::*;
+use rayon::with_num_threads;
+
+/// Burn CPU proportional to the skew pattern and return a value that
+/// depends on every input, so reordering or dropping an item is visible.
+fn work(i: u64, skew: u32) -> u64 {
+    let spins = match skew {
+        // Uniform and trivial.
+        0 => 0,
+        // Sparse spikes: every 97th item is ~1000x the rest.
+        1 => {
+            if i.is_multiple_of(97) {
+                2_000
+            } else {
+                2
+            }
+        }
+        // Monotone ramp: late items cost more, so early workers go idle
+        // and steal from the laggards.
+        _ => (i % 257) * 4,
+    };
+    let mut acc = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ skew as u64;
+    for _ in 0..spins {
+        acc = acc.rotate_left(7).wrapping_add(0x2545_F491_4F6C_DD1D);
+    }
+    acc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `map().collect()` equals the sequential map at any width.
+    #[test]
+    fn map_collect_matches_sequential(
+        len in 0usize..10_000,
+        threads in 1usize..=16,
+        skew in 0u32..3,
+    ) {
+        let input: Vec<u64> = (0..len as u64).collect();
+        let expect: Vec<u64> = input.iter().map(|&x| work(x, skew)).collect();
+        let got: Vec<u64> =
+            with_num_threads(threads, || input.par_iter().map(|&x| work(x, skew)).collect());
+        prop_assert_eq!(got, expect, "len={} threads={} skew={}", len, threads, skew);
+    }
+
+    /// `flat_map().collect()` preserves both order and multiplicity —
+    /// items may expand to zero, one, or several outputs.
+    #[test]
+    fn flat_map_collect_matches_sequential(
+        len in 0usize..6_000,
+        threads in 1usize..=16,
+        skew in 0u32..3,
+    ) {
+        let input: Vec<u64> = (0..len as u64).collect();
+        let expand = |x: u64| -> Vec<u64> { (0..x % 4).map(|k| work(x, skew) ^ k).collect() };
+        let expect: Vec<u64> = input.iter().flat_map(|&x| expand(x)).collect();
+        let got: Vec<u64> =
+            with_num_threads(threads, || input.par_iter().flat_map(|&x| expand(x)).collect());
+        prop_assert_eq!(got, expect, "len={} threads={} skew={}", len, threads, skew);
+    }
+
+    /// `sum()` folds in input order, so it is bit-exact against the
+    /// sequential sum (wrapping arithmetic makes overflow well-defined).
+    #[test]
+    fn sum_matches_sequential(
+        len in 0usize..10_000,
+        threads in 1usize..=16,
+        skew in 0u32..3,
+    ) {
+        let input: Vec<u64> = (0..len as u64).map(|x| work(x, skew) >> 16).collect();
+        let expect: u64 = input.iter().sum();
+        let got: u64 = with_num_threads(threads, || input.par_iter().sum());
+        prop_assert_eq!(got, expect, "len={} threads={} skew={}", len, threads, skew);
+    }
+
+    /// The same drive repeated on the resident (already warm) pool gives
+    /// the same bytes every time — no hidden per-drive state.
+    #[test]
+    fn repeated_drives_are_stable(
+        len in 1usize..4_000,
+        threads in 2usize..=16,
+    ) {
+        let input: Vec<u64> = (0..len as u64).collect();
+        let run = || -> Vec<u64> {
+            with_num_threads(threads, || input.par_iter().map(|&x| work(x, 1)).collect())
+        };
+        let first = run();
+        let second = run();
+        prop_assert_eq!(first, second, "len={} threads={}", len, threads);
+    }
+}
