@@ -1,6 +1,7 @@
 //! Hand-rolled argument parsing (no CLI dependency; the grammar is tiny).
 
 use risa_sched::Algorithm;
+use risa_sim::FelKind;
 use risa_workload::AzureSubset;
 
 /// Top-level usage text.
@@ -15,6 +16,8 @@ commands:
       --n <count>            synthetic VM count (default 2500)
       --seed <u64>           (default 42)
       --scale <mult>         run on a mult x paper cluster (default 1)
+      --fel <heap|calendar>  future-event-list backend (default: RISA_FEL
+                             env var, else heap; reports are identical)
       --json                 emit the RunReport as JSON
       --jobs <n>             thread-pool size for parallel sections
   experiment <id>            regenerate a paper artifact
@@ -53,6 +56,8 @@ pub enum Command {
         seed: u64,
         /// Cluster-size multiplier over the paper topology.
         scale: u16,
+        /// Future-event-list backend (`None` = `RISA_FEL` or heap).
+        fel: Option<FelKind>,
         /// Emit JSON instead of the text report.
         json: bool,
         /// Thread-pool size (`None` = `RISA_THREADS` or all cores).
@@ -222,6 +227,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 workload: parse_workload(opt(&options, "workload").unwrap_or("synthetic"), n)?,
                 seed: opt_u64(&options, "seed", 42)?,
                 scale,
+                fel: opt(&options, "fel").map(str::parse).transpose()?,
                 json: opt(&options, "json").is_some(),
                 jobs: opt_jobs(&options)?,
             })
@@ -325,6 +331,7 @@ mod tests {
                 workload: WorkloadArg::Synthetic { n: 2500 },
                 seed: 42,
                 scale: 1,
+                fel: None,
                 json: false,
                 jobs: None,
             }
@@ -343,6 +350,8 @@ mod tests {
             "7",
             "--scale",
             "10",
+            "--fel",
+            "calendar",
             "--json",
             "--jobs",
             "4",
@@ -355,11 +364,13 @@ mod tests {
                 workload: WorkloadArg::Azure(AzureSubset::N5000),
                 seed: 7,
                 scale: 10,
+                fel: Some(FelKind::Calendar),
                 json: true,
                 jobs: Some(4),
             }
         );
         assert!(parse(&v(&["run", "--scale", "0"])).is_err());
+        assert!(parse(&v(&["run", "--fel", "fibonacci"])).is_err());
         assert!(parse(&v(&["run", "--jobs", "0"])).is_err());
         assert!(parse(&v(&["run", "--jobs", "lots"])).is_err());
         // Out-of-range values error instead of silently truncating.

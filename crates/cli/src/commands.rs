@@ -31,6 +31,7 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             workload,
             seed,
             scale,
+            fel,
             json,
             jobs,
         } => {
@@ -44,12 +45,14 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                 ));
             }
             let spec = spec_of(workload, seed);
-            let report = SimulationBuilder::new()
+            let mut builder = SimulationBuilder::new()
                 .algorithm(algo)
                 .workload(spec)
-                .topology(paper.scaled(scale))
-                .build()
-                .run();
+                .topology(paper.scaled(scale));
+            if let Some(kind) = fel {
+                builder = builder.fel(kind);
+            }
+            let report = builder.build().run();
             emit(&report, json)
         }
         Command::Bench { racks, vms, jobs } => {
@@ -337,6 +340,7 @@ mod tests {
             workload: WorkloadArg::Synthetic { n: 50 },
             seed: 1,
             scale: 1,
+            fel: None,
             json: false,
             jobs: None,
         };
@@ -350,6 +354,7 @@ mod tests {
             workload: WorkloadArg::Synthetic { n: 20 },
             seed: 1,
             scale: 1,
+            fel: None,
             json: true,
             jobs: None,
         };
@@ -415,6 +420,7 @@ mod tests {
             workload: WorkloadArg::Synthetic { n: 40 },
             seed: 2,
             scale: 10,
+            fel: Some(risa_sim::FelKind::Calendar),
             json: false,
             jobs: None,
         };

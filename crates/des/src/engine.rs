@@ -6,6 +6,9 @@ use crate::queue::EventQueue;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::EventTrace;
 
+#[cfg(doc)]
+use crate::fel::FelKind;
+
 /// The model being simulated. Implementors own all mutable simulation state
 /// (the datacenter, the scheduler, the metrics) and react to events.
 pub trait World {
@@ -104,9 +107,16 @@ type TraceSlot<E> = (EventTrace, fn(&E) -> String);
 impl<W: World> Simulation<W> {
     /// Wrap `world` with an empty queue at t = 0.
     pub fn new(world: W) -> Self {
+        Self::with_queue(world, EventQueue::new())
+    }
+
+    /// Wrap `world` with a caller-built queue (e.g. one on a non-default
+    /// [`FelKind`] backend or with pre-reserved capacity). The queue may
+    /// already hold events.
+    pub fn with_queue(world: W, queue: EventQueue<W::Event>) -> Self {
         Simulation {
             world,
-            queue: EventQueue::new(),
+            queue,
             now: SimTime::ZERO,
             dispatched: 0,
             clamped: 0,
@@ -136,6 +146,25 @@ impl<W: World> Simulation<W> {
     /// Schedule an event before (or during) the run.
     pub fn schedule(&mut self, at: SimTime, event: W::Event) {
         self.queue.push(at, event);
+    }
+
+    /// Load a time-sorted batch of events into the queue's static lane
+    /// (see [`EventQueue::preload_sorted`]). Delivery order is exactly as
+    /// if every event had been [`Simulation::schedule`]d here — but the
+    /// future-event list never holds them, so it stays sized to the events
+    /// the world schedules *during* the run.
+    ///
+    /// # Panics
+    /// If `events` is not sorted by time, or a previous preload is still
+    /// being delivered.
+    pub fn preload_sorted(&mut self, events: Vec<(SimTime, W::Event)>) {
+        self.queue.preload_sorted(events);
+    }
+
+    /// Shared view of the two-lane event queue (lengths, peak FEL size,
+    /// backend kind).
+    pub fn queue(&self) -> &EventQueue<W::Event> {
+        &self.queue
     }
 
     /// Current simulation clock. Advances only when events are dispatched.
@@ -205,6 +234,13 @@ impl<W: World> Simulation<W> {
     /// Events scheduled exactly at the horizon *are* dispatched; the first
     /// event strictly beyond it ends the run with
     /// [`RunOutcome::HorizonReached`] and stays queued.
+    ///
+    /// Outcome precedence: queue-state outcomes win over the budget. An
+    /// empty queue reports [`RunOutcome::Exhausted`] and a
+    /// horizon-crossing head event reports [`RunOutcome::HorizonReached`]
+    /// even when `max_events` is 0 (or was consumed exactly);
+    /// [`RunOutcome::BudgetExhausted`] means *undispatched work at or
+    /// before the horizon remains*.
     pub fn run_until(&mut self, horizon: SimTime, max_events: u64) -> RunOutcome {
         self.stop_requested = false;
         let mut budget = max_events;
@@ -212,13 +248,13 @@ impl<W: World> Simulation<W> {
             if self.stop_requested {
                 return RunOutcome::Stopped;
             }
-            if budget == 0 {
-                return RunOutcome::BudgetExhausted;
-            }
             match self.queue.peek_time() {
                 None => return RunOutcome::Exhausted,
                 Some(t) if t > horizon => return RunOutcome::HorizonReached,
                 Some(_) => {
+                    if budget == 0 {
+                        return RunOutcome::BudgetExhausted;
+                    }
                     self.step();
                     budget -= 1;
                 }
@@ -311,6 +347,68 @@ mod tests {
         }
         assert_eq!(sim.run_until(SimTime::MAX, 3), RunOutcome::BudgetExhausted);
         assert_eq!(sim.dispatched(), 3);
+    }
+
+    /// Regression: queue-state outcomes take precedence over the budget.
+    /// An empty queue used to report `BudgetExhausted` when
+    /// `max_events == 0` because the budget was checked before the peek.
+    #[test]
+    fn budget_outcome_only_when_dispatchable_work_remains() {
+        // Empty queue + zero budget: nothing to dispatch ⇒ Exhausted.
+        let mut sim = Simulation::new(toy());
+        assert_eq!(sim.run_until(SimTime::MAX, 0), RunOutcome::Exhausted);
+
+        // Draining on exactly the last budget unit ⇒ Exhausted, not
+        // BudgetExhausted (the queue state is the more informative fact).
+        let mut sim = Simulation::new(toy());
+        sim.schedule(SimTime::from_units(1.0), ToyEvent::Arrive(0));
+        assert_eq!(sim.run_until(SimTime::MAX, 2), RunOutcome::Exhausted);
+        assert_eq!(sim.dispatched(), 2);
+
+        // Head event beyond the horizon + zero budget ⇒ HorizonReached.
+        let mut sim = Simulation::new(toy());
+        sim.schedule(SimTime::from_units(9.0), ToyEvent::Arrive(0));
+        assert_eq!(
+            sim.run_until(SimTime::from_units(5.0), 0),
+            RunOutcome::HorizonReached
+        );
+
+        // Pending work within the horizon + zero budget ⇒ BudgetExhausted.
+        let mut sim = Simulation::new(toy());
+        sim.schedule(SimTime::from_units(1.0), ToyEvent::Arrive(0));
+        assert_eq!(sim.run_until(SimTime::MAX, 0), RunOutcome::BudgetExhausted);
+        assert_eq!(sim.dispatched(), 0);
+    }
+
+    /// The preloaded arrival lane is observationally identical to
+    /// scheduling every arrival up front — same event order, same world
+    /// state — while the FEL holds only the dynamically scheduled
+    /// departures.
+    #[test]
+    fn preloaded_arrivals_match_scheduled_arrivals() {
+        // Arrivals 1 unit apart, departures 5 units later ⇒ at most ~6
+        // events are ever genuinely "in flight".
+        let arrivals: Vec<(SimTime, ToyEvent)> = (0..50)
+            .map(|i| (SimTime::from_units(i as f64), ToyEvent::Arrive(i)))
+            .collect();
+
+        let mut pushed = Simulation::new(toy());
+        for &(at, ev) in &arrivals {
+            pushed.schedule(at, ev);
+        }
+        pushed.run_to_completion();
+
+        let mut preloaded = Simulation::new(toy());
+        preloaded.preload_sorted(arrivals);
+        assert_eq!(preloaded.pending(), 50, "pending counts the static lane");
+        preloaded.run_to_completion();
+
+        assert_eq!(pushed.world().log, preloaded.world().log);
+        assert_eq!(pushed.dispatched(), preloaded.dispatched());
+        // Arrivals bypassed the FEL: it only ever held in-flight
+        // departures, not the whole trace as on the push path.
+        assert!(preloaded.queue().peak_fel_len() <= 6);
+        assert_eq!(pushed.queue().peak_fel_len(), 50);
     }
 
     #[test]

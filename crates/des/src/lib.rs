@@ -8,6 +8,28 @@
 //! initial events and the same handler logic produce identical event orders,
 //! because ties in time are broken by insertion sequence number.
 //!
+//! ## The two-lane queue
+//!
+//! [`EventQueue`] merges two lanes at `(time, seq)`:
+//!
+//! 1. a **static lane** ([`SortedStream`], loaded via
+//!    [`Simulation::preload_sorted`]) for events known up front and already
+//!    sorted — a trace's arrivals; and
+//! 2. a dynamic **future-event list** for events scheduled during the run —
+//!    departures, in the DDC model.
+//!
+//! Preloading reserves the sequence numbers the events would have been
+//! pushed with, so delivery order is *byte-identical* to pushing everything
+//! up front — but the FEL stays sized to the events in flight
+//! (O(resident VMs) instead of O(all VMs)), and the up-front O(n log n)
+//! heap build disappears.
+//!
+//! The FEL itself is pluggable ([`FutureEventList`], selected by
+//! [`FelKind`] / the `RISA_FEL` env var): [`BinaryHeapFel`] is the oracle
+//! implementation, and [`CalendarFel`] is a bucketed calendar queue for
+//! large in-flight sets. A proptest differential (`tests/fel_props.rs`)
+//! pins identical pop order across backends.
+//!
 //! ```
 //! use risa_des::{Simulation, SimDuration, SimTime, World, EventCtx};
 //!
@@ -34,11 +56,17 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod fel;
 mod queue;
+mod stream;
 mod time;
 mod trace;
 
 pub use engine::{EventCtx, RunOutcome, Simulation, StepOutcome, World};
+pub use fel::{
+    BinaryHeapFel, CalendarFel, EventKey, FelKind, FutureEventList, DEFAULT_BUCKET_TICKS,
+};
 pub use queue::{EventQueue, QueueEntry};
+pub use stream::SortedStream;
 pub use time::{SimDuration, SimTime, TICKS_PER_UNIT};
 pub use trace::{EventTrace, TraceEntry};

@@ -1,13 +1,24 @@
-//! The pending-event set: a binary min-heap ordered by `(time, sequence)`.
+//! The pending-event set: a **two-lane** queue ordered by `(time, seq)`.
 //!
-//! Determinism requirement: when two events are scheduled for the same tick,
-//! the one scheduled *first* is delivered first. `BinaryHeap` alone is not
-//! stable, so every entry carries a monotonically increasing sequence number
-//! that breaks ties.
+//! Lane 1 is an optional pre-sorted arrival cursor ([`SortedStream`],
+//! loaded via [`EventQueue::preload_sorted`]); lane 2 is the dynamic
+//! future-event list (a pluggable [`FutureEventList`] backend) that holds
+//! events scheduled during the run. [`EventQueue::pop`] merges the lanes at
+//! `(time, seq)`, so delivery order is exactly what pushing everything into
+//! one heap would produce — but the FEL stays O(events in flight) instead
+//! of O(all events ever known), and the up-front heap build disappears.
+//!
+//! Determinism requirement: when two events are scheduled for the same
+//! tick, the one scheduled *first* is delivered first. No backend is
+//! required to be stable, so every entry carries a monotonically increasing
+//! sequence number that breaks ties; preloaded entries reserve the sequence
+//! numbers they would have been pushed with.
 
+use crate::fel::{EventKey, FelBackend, FelKind, FutureEventList};
+use crate::stream::SortedStream;
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::fmt;
 
 /// One scheduled event: delivery time, tie-breaking sequence, payload.
 #[derive(Debug, Clone)]
@@ -44,11 +55,13 @@ impl<E> Ord for QueueEntry<E> {
     }
 }
 
-/// A deterministic future-event list.
-#[derive(Debug)]
+/// A deterministic two-lane event queue.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<QueueEntry<E>>,
+    stream: Option<SortedStream<E>>,
+    fel: FelBackend<E>,
+    backend: FelKind,
     next_seq: u64,
+    peak_fel: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -58,20 +71,55 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// Create an empty queue.
+    /// Create an empty queue on the default heap backend.
     pub fn new() -> Self {
+        Self::with_capacity_and_backend(0, FelKind::Heap)
+    }
+
+    /// Create an empty heap-backed queue with room for `cap` events.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self::with_capacity_and_backend(cap, FelKind::Heap)
+    }
+
+    /// Create an empty queue on the chosen [`FelKind`] backend.
+    pub fn with_backend(backend: FelKind) -> Self {
+        Self::with_capacity_and_backend(0, backend)
+    }
+
+    /// Create an empty queue on `backend`, pre-reserving `cap` entries
+    /// where the backend supports it (the heap does; the calendar
+    /// allocates per bucket).
+    pub fn with_capacity_and_backend(cap: usize, backend: FelKind) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            stream: None,
+            fel: backend.instantiate(cap),
+            backend,
             next_seq: 0,
+            peak_fel: 0,
         }
     }
 
-    /// Create an empty queue with room for `cap` events.
-    pub fn with_capacity(cap: usize) -> Self {
-        EventQueue {
-            heap: BinaryHeap::with_capacity(cap),
-            next_seq: 0,
-        }
+    /// The backend this queue's future-event list runs on.
+    pub fn backend(&self) -> FelKind {
+        self.backend
+    }
+
+    /// Load the static lane: `events`, sorted by time, are delivered
+    /// merged against dynamically pushed events exactly as if they had all
+    /// been pushed now (they reserve the next `events.len()` sequence
+    /// numbers) — without ever entering the future-event list.
+    ///
+    /// # Panics
+    /// If `events` is not sorted by time, or if a previous preload has not
+    /// been fully delivered yet.
+    pub fn preload_sorted(&mut self, events: Vec<(SimTime, E)>) {
+        assert!(
+            self.stream.as_ref().is_none_or(|s| s.remaining() == 0),
+            "preload_sorted: a previous preload is still being delivered"
+        );
+        let n = events.len() as u64;
+        self.stream = Some(SortedStream::new(events, self.next_seq));
+        self.next_seq += n;
     }
 
     /// Schedule `event` for delivery at `at`. Returns the sequence number
@@ -79,39 +127,92 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, at: SimTime, event: E) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(QueueEntry { at, seq, event });
+        self.fel.push(QueueEntry { at, seq, event });
+        self.peak_fel = self.peak_fel.max(self.fel.len());
         seq
     }
 
-    /// Remove and return the earliest entry, or `None` when empty.
+    /// Remove and return the earliest entry across both lanes, or `None`
+    /// when empty.
     pub fn pop(&mut self) -> Option<QueueEntry<E>> {
-        self.heap.pop()
+        match (self.stream_key(), self.fel.peek_key()) {
+            (None, None) => None,
+            (Some(_), None) => self.stream.as_mut().and_then(SortedStream::pop),
+            (None, Some(_)) => self.fel.pop(),
+            (Some(s), Some(f)) => {
+                if s < f {
+                    self.stream.as_mut().and_then(SortedStream::pop)
+                } else {
+                    self.fel.pop()
+                }
+            }
+        }
     }
 
-    /// Delivery time of the earliest pending event.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+    /// Delivery time of the earliest pending event. Takes `&mut self` so
+    /// lazily-organized backends may reorder internally.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        match (self.stream_key(), self.fel.peek_key()) {
+            (None, None) => None,
+            (Some((t, _)), None) | (None, Some((t, _))) => Some(t),
+            (Some(s), Some(f)) => Some(s.min(f).0),
+        }
     }
 
-    /// Number of pending events.
+    fn stream_key(&self) -> Option<EventKey> {
+        self.stream.as_ref().and_then(SortedStream::peek_key)
+    }
+
+    /// Number of pending events across both lanes.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.stream_remaining() + self.fel.len()
     }
 
-    /// True when no events are pending.
+    /// True when no events are pending in either lane.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
-    /// Total number of events ever scheduled on this queue.
+    /// Events still waiting in the preloaded lane.
+    pub fn stream_remaining(&self) -> usize {
+        self.stream.as_ref().map_or(0, SortedStream::remaining)
+    }
+
+    /// Events currently in the future-event list (the dynamic lane).
+    pub fn fel_len(&self) -> usize {
+        self.fel.len()
+    }
+
+    /// High-water mark of the future-event list. With a preloaded arrival
+    /// lane this is O(events in flight) — the two-lane design's win — and
+    /// tests assert it stays far below the total event count.
+    pub fn peak_fel_len(&self) -> usize {
+        self.peak_fel
+    }
+
+    /// Total number of events ever scheduled on this queue (pushed or
+    /// preloaded).
     pub fn scheduled_total(&self) -> u64 {
         self.next_seq
     }
 
-    /// Drop all pending events (sequence counter keeps advancing so replay
-    /// determinism is preserved across a clear).
+    /// Drop all pending events in both lanes (sequence counter keeps
+    /// advancing so replay determinism is preserved across a clear).
     pub fn clear(&mut self) {
-        self.heap.clear();
+        self.stream = None;
+        self.fel.clear();
+    }
+}
+
+// Payload-opaque `Debug` (no `E: Debug` bound): summarizes both lanes.
+impl<E> fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("backend", &self.backend)
+            .field("stream_remaining", &self.stream_remaining())
+            .field("fel", &self.fel)
+            .field("next_seq", &self.next_seq)
+            .finish()
     }
 }
 
@@ -123,25 +224,31 @@ mod tests {
         SimTime::from_units(u)
     }
 
+    fn drain<E>(q: &mut EventQueue<E>) -> Vec<E> {
+        std::iter::from_fn(|| q.pop().map(|e| e.event)).collect()
+    }
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.push(t(5.0), "c");
-        q.push(t(1.0), "a");
-        q.push(t(3.0), "b");
-        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
-        assert_eq!(order, vec!["a", "b", "c"]);
+        for backend in FelKind::ALL {
+            let mut q = EventQueue::with_backend(backend);
+            q.push(t(5.0), "c");
+            q.push(t(1.0), "a");
+            q.push(t(3.0), "b");
+            assert_eq!(drain(&mut q), vec!["a", "b", "c"]);
+        }
     }
 
     #[test]
     fn ties_break_by_insertion_order() {
-        let mut q = EventQueue::new();
-        for i in 0..100 {
-            q.push(t(7.0), i);
+        for backend in FelKind::ALL {
+            let mut q = EventQueue::with_backend(backend);
+            for i in 0..100 {
+                q.push(t(7.0), i);
+            }
+            let expect: Vec<_> = (0..100).collect();
+            assert_eq!(drain(&mut q), expect, "same-tick events must be FIFO");
         }
-        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
-        let expect: Vec<_> = (0..100).collect();
-        assert_eq!(order, expect, "same-tick events must be FIFO");
     }
 
     #[test]
@@ -151,8 +258,7 @@ mod tests {
         q.push(t(1.0), "a");
         q.push(t(2.0), "b2");
         q.push(t(0.5), "start");
-        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
-        assert_eq!(order, vec!["start", "a", "b1", "b2"]);
+        assert_eq!(drain(&mut q), vec!["start", "a", "b1", "b2"]);
     }
 
     #[test]
@@ -176,5 +282,75 @@ mod tests {
         let seq = q.push(t(3.0), 3);
         assert_eq!(seq, 2, "sequence numbers keep increasing after clear");
         assert_eq!(q.scheduled_total(), 3);
+    }
+
+    #[test]
+    fn preload_merges_byte_identically_with_push_path() {
+        let arrivals = vec![(t(1.0), 0u32), (t(2.0), 1), (t(2.0), 2), (t(8.0), 3)];
+        for backend in FelKind::ALL {
+            // Oracle: everything pushed through the FEL.
+            let mut oracle = EventQueue::with_backend(backend);
+            for &(at, ev) in &arrivals {
+                oracle.push(at, ev);
+            }
+            // Two-lane: arrivals preloaded, nothing in the FEL.
+            let mut lanes = EventQueue::with_backend(backend);
+            lanes.preload_sorted(arrivals.clone());
+            assert_eq!(lanes.fel_len(), 0);
+            assert_eq!(lanes.len(), oracle.len());
+            // Interleave identical dynamic pushes (same-tick collisions
+            // with the preloaded entries included) on both queues.
+            let mut log = Vec::new();
+            for queue in [&mut oracle, &mut lanes] {
+                let mut order = Vec::new();
+                for round in 0..3 {
+                    let e = queue.pop().unwrap();
+                    order.push((e.at, e.seq, e.event));
+                    queue.push(e.at, 100 + round); // same-tick as the popped entry
+                }
+                while let Some(e) = queue.pop() {
+                    order.push((e.at, e.seq, e.event));
+                }
+                log.push(order);
+            }
+            assert_eq!(log[0], log[1], "backend {backend}: lanes diverged");
+        }
+    }
+
+    #[test]
+    fn preload_tracks_lengths_and_seq() {
+        let mut q = EventQueue::new();
+        q.push(t(5.0), 99u32);
+        q.preload_sorted(vec![(t(1.0), 1), (t(2.0), 2)]);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.stream_remaining(), 2);
+        assert_eq!(q.fel_len(), 1);
+        assert_eq!(q.scheduled_total(), 3);
+        // Preloaded entries carry seqs 1 and 2 (after the push's 0)… but
+        // deliver first because their *times* are earlier.
+        let popped: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| (e.seq, e.event))).collect();
+        assert_eq!(popped, vec![(1, 1), (2, 2), (0, 99)]);
+        // A fully-drained stream allows a fresh preload.
+        q.preload_sorted(vec![(t(9.0), 7)]);
+        assert_eq!(q.pop().map(|e| (e.seq, e.event)), Some((3, 7)));
+    }
+
+    #[test]
+    #[should_panic(expected = "still being delivered")]
+    fn double_preload_rejected() {
+        let mut q = EventQueue::new();
+        q.preload_sorted(vec![(t(1.0), 1u32)]);
+        q.preload_sorted(vec![(t(2.0), 2)]);
+    }
+
+    #[test]
+    fn peak_fel_len_counts_only_the_dynamic_lane() {
+        let mut q = EventQueue::new();
+        q.preload_sorted((0..100).map(|i| (t(i as f64), i)).collect());
+        assert_eq!(q.peak_fel_len(), 0);
+        q.push(t(50.0), 1000);
+        q.push(t(60.0), 1001);
+        q.pop();
+        assert_eq!(q.peak_fel_len(), 2);
     }
 }

@@ -1,0 +1,138 @@
+//! Differential properties of the future-event-list backends.
+//!
+//! `BinaryHeapFel` is the oracle: every other backend must produce the
+//! *identical* `(time, seq)` pop order under arbitrary push/pop
+//! interleavings — including same-tick bursts, where only the sequence
+//! number breaks ties — and the two-lane `EventQueue` must deliver a
+//! preloaded sorted stream byte-identically to pushing the same events.
+
+use proptest::prelude::*;
+use risa_des::{
+    BinaryHeapFel, CalendarFel, EventQueue, FelKind, FutureEventList, QueueEntry, SimTime,
+};
+
+/// One scripted operation against a FEL.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Push an entry at this many ticks.
+    Push(u64),
+    /// Pop the earliest entry.
+    Pop,
+}
+
+/// Random scripts biased ~3:1 toward pushes, with times drawn from a small
+/// range so same-tick collisions and dense buckets are common.
+fn ops(max_ticks: u64) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        (0u32..4, 0u64..max_ticks).prop_map(|(sel, t)| if sel < 3 { Op::Push(t) } else { Op::Pop }),
+        0..400,
+    )
+}
+
+/// Run one script against a backend; returns every popped `(ticks, seq)`.
+fn replay<F: FutureEventList<u32>>(fel: &mut F, script: &[Op]) -> Vec<(u64, u64)> {
+    let mut popped = Vec::new();
+    let mut seq = 0u64;
+    for op in script {
+        match *op {
+            Op::Push(ticks) => {
+                fel.push(QueueEntry {
+                    at: SimTime::from_ticks(ticks),
+                    seq,
+                    event: seq as u32,
+                });
+                seq += 1;
+            }
+            Op::Pop => {
+                // Exercise peek_key too: it must agree with the pop.
+                let peeked = fel.peek_key();
+                let entry = fel.pop();
+                assert_eq!(peeked, entry.as_ref().map(|e| (e.at, e.seq)));
+                if let Some(e) = entry {
+                    assert_eq!(e.event as u64, e.seq, "payload follows its entry");
+                    popped.push((e.at.ticks(), e.seq));
+                }
+            }
+        }
+    }
+    // Drain the remainder: the tail order matters as much as the live one.
+    while let Some(e) = fel.pop() {
+        popped.push((e.at.ticks(), e.seq));
+    }
+    popped
+}
+
+proptest! {
+    /// Calendar backend vs the heap oracle: identical pop order for any
+    /// interleaving, times spanning many buckets.
+    #[test]
+    fn calendar_matches_heap_oracle(script in ops(4096)) {
+        let mut heap = BinaryHeapFel::new();
+        let mut calendar = CalendarFel::with_bucket_ticks(64);
+        prop_assert_eq!(replay(&mut heap, &script), replay(&mut calendar, &script));
+    }
+
+    /// Same-tick-burst-heavy scripts (8 distinct times): the tie-breaking
+    /// sequence order must survive bucketing.
+    #[test]
+    fn calendar_matches_heap_on_same_tick_bursts(script in ops(8)) {
+        let mut heap = BinaryHeapFel::new();
+        let mut calendar = CalendarFel::with_bucket_ticks(3);
+        prop_assert_eq!(replay(&mut heap, &script), replay(&mut calendar, &script));
+    }
+
+    /// The default-width calendar behind a real `EventQueue` agrees with a
+    /// heap-backed queue push-for-push.
+    #[test]
+    fn queue_backends_agree(script in ops(1_000_000)) {
+        let run = |kind: FelKind| {
+            let mut q = EventQueue::with_backend(kind);
+            let mut popped = Vec::new();
+            for op in &script {
+                match *op {
+                    Op::Push(ticks) => { q.push(SimTime::from_ticks(ticks), ticks as u32); }
+                    Op::Pop => {
+                        if let Some(e) = q.pop() {
+                            popped.push((e.at.ticks(), e.seq, e.event));
+                        }
+                    }
+                }
+            }
+            while let Some(e) = q.pop() {
+                popped.push((e.at.ticks(), e.seq, e.event));
+            }
+            popped
+        };
+        prop_assert_eq!(run(FelKind::Heap), run(FelKind::Calendar));
+    }
+
+    /// Two-lane delivery: preloading a sorted prefix then pushing the rest
+    /// is byte-identical to pushing everything, on both backends.
+    #[test]
+    fn preload_equals_push(
+        sorted in prop::collection::vec(0u64..500, 0..100),
+        pushed in prop::collection::vec(0u64..500, 0..100),
+    ) {
+        let mut sorted = sorted;
+        sorted.sort_unstable();
+        for kind in FelKind::ALL {
+            let mut preloading = EventQueue::with_backend(kind);
+            preloading.preload_sorted(
+                sorted.iter().map(|&t| (SimTime::from_ticks(t), t as u32)).collect(),
+            );
+            let mut pushing = EventQueue::with_backend(kind);
+            for &t in &sorted {
+                pushing.push(SimTime::from_ticks(t), t as u32);
+            }
+            for q in [&mut preloading, &mut pushing] {
+                for &t in &pushed {
+                    q.push(SimTime::from_ticks(t), t as u32);
+                }
+            }
+            let drain = |q: &mut EventQueue<u32>| -> Vec<(u64, u64, u32)> {
+                std::iter::from_fn(|| q.pop().map(|e| (e.at.ticks(), e.seq, e.event))).collect()
+            };
+            prop_assert_eq!(drain(&mut preloading), drain(&mut pushing));
+        }
+    }
+}

@@ -3,8 +3,8 @@
 use crate::config::{LatencyConfig, SimConfig};
 use crate::report::RunReport;
 use crate::spec::WorkloadSpec;
-use crate::world::{DdcWorld, SimEvent};
-use risa_des::{SimTime, Simulation};
+use crate::world::{DdcWorld, DEFAULT_SCHED_TIMING_BATCH};
+use risa_des::{EventQueue, EventTrace, FelKind, Simulation};
 use risa_network::NetworkConfig;
 use risa_photonics::PhotonicsConfig;
 use risa_sched::Algorithm;
@@ -20,6 +20,10 @@ pub struct SimulationBuilder {
     workload: WorkloadSpec,
     timeline_interval: Option<f64>,
     audit: bool,
+    fel: Option<FelKind>,
+    queue_capacity: Option<usize>,
+    sched_timing_batch: u32,
+    legacy_arrival_path: bool,
 }
 
 impl SimulationBuilder {
@@ -31,7 +35,46 @@ impl SimulationBuilder {
             workload: WorkloadSpec::synthetic(100, 0),
             timeline_interval: None,
             audit: false,
+            fel: None,
+            queue_capacity: None,
+            sched_timing_batch: DEFAULT_SCHED_TIMING_BATCH,
+            legacy_arrival_path: false,
         }
+    }
+
+    /// Choose the future-event-list backend (default: the `RISA_FEL`
+    /// environment variable, falling back to [`FelKind::Heap`]). Reports
+    /// are byte-identical across backends — pinned by
+    /// `tests/hot_path_differential.rs`.
+    pub fn fel(mut self, kind: FelKind) -> Self {
+        self.fel = Some(kind);
+        self
+    }
+
+    /// Pre-reserve space for `cap` events in the future-event list (heap
+    /// backend only). The FEL holds in-flight departures, so a bound on
+    /// peak *resident* VMs — not the trace length — is the right hint.
+    pub fn queue_capacity(mut self, cap: usize) -> Self {
+        self.queue_capacity = Some(cap);
+        self
+    }
+
+    /// Scheduler-timing batch: one clock pair per `every` scheduling calls
+    /// (default [`DEFAULT_SCHED_TIMING_BATCH`]); `1` restores exact
+    /// per-call timing. See [`RunReport::sched_seconds`].
+    pub fn sched_timing_batch(mut self, every: u32) -> Self {
+        self.sched_timing_batch = every;
+        self
+    }
+
+    /// Schedule every arrival through the future-event list, as the
+    /// engine did before the two-lane queue (PR 5). This is the *oracle*
+    /// configuration for the hot-path differential tests; behavior is
+    /// byte-identical to the default sorted-stream path, just slower on
+    /// big traces.
+    pub fn legacy_arrival_path(mut self, on: bool) -> Self {
+        self.legacy_arrival_path = on;
+        self
     }
 
     /// Independently audit every assignment against a shadow ledger
@@ -97,6 +140,15 @@ impl SimulationBuilder {
     /// deterministic — see [`WorkloadSpec::materialize`]); it happens
     /// here, *before* the run, so the report's scheduler wall-clock
     /// (`sched_seconds`) is never polluted by generation threads.
+    ///
+    /// Arrivals are fed to the engine through the two-lane queue's sorted
+    /// stream ([`Simulation::preload_sorted`]): the trace is walked by
+    /// index — no `Vec<VmRequest>` clone — and the future-event list only
+    /// ever holds in-flight departures, O(resident VMs) instead of
+    /// O(trace length). An unsorted [`WorkloadSpec::Trace`] (possible in
+    /// release builds, where `Workload::from_vms` only debug-asserts
+    /// order) falls back to pushing arrivals through the FEL, which does
+    /// not require sortedness.
     pub fn build(self) -> DdcSimulation {
         let workload = self.workload.materialize();
         workload
@@ -107,16 +159,29 @@ impl SimulationBuilder {
                     vm.id
                 )
             });
+        let sorted = workload
+            .vms()
+            .windows(2)
+            .all(|w| w[0].arrival <= w[1].arrival);
+        let arrivals = crate::world::arrival_events(&workload);
         let mut world = DdcWorld::new(self.cfg, self.algorithm, workload);
+        world.set_sched_timing_batch(self.sched_timing_batch);
         if let Some(interval) = self.timeline_interval {
             world.enable_timeline(interval);
         }
         if self.audit {
             world.enable_audit();
         }
-        let mut sim = Simulation::new(world);
-        for vm in sim.world().workload.vms().to_vec() {
-            sim.schedule(SimTime::from_units(vm.arrival), SimEvent::Arrival(vm.id.0));
+        let backend = self.fel.unwrap_or_else(FelKind::from_env);
+        let queue =
+            EventQueue::with_capacity_and_backend(self.queue_capacity.unwrap_or(0), backend);
+        let mut sim = Simulation::with_queue(world, queue);
+        if self.legacy_arrival_path || !sorted {
+            for (at, event) in arrivals {
+                sim.schedule(at, event);
+            }
+        } else {
+            sim.preload_sorted(arrivals);
         }
         DdcSimulation { sim }
     }
@@ -193,7 +258,7 @@ impl DdcSimulation {
                 0.0
             },
             mean_cpu_ram_latency_ns: w.latency.mean(),
-            sched_seconds: w.sched_wall.as_secs_f64(),
+            sched_seconds: w.sched_seconds(),
             work: *w.scheduler.work(),
             sim_duration: t_end,
         }
@@ -202,6 +267,36 @@ impl DdcSimulation {
     /// Access the world (e.g. for white-box assertions in tests).
     pub fn world(&self) -> &DdcWorld {
         self.sim.world()
+    }
+
+    /// Keep a ring buffer of the last `capacity` dispatched events; with a
+    /// capacity of at least `2 × total VMs` the dump is the complete event
+    /// dispatch order (the hot-path differential compares these across
+    /// engine configurations).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.sim.enable_trace(capacity);
+    }
+
+    /// The event trace, when enabled via [`DdcSimulation::enable_trace`].
+    pub fn trace(&self) -> Option<&EventTrace> {
+        self.sim.trace()
+    }
+
+    /// Total events dispatched so far (arrivals + departures).
+    pub fn events_dispatched(&self) -> u64 {
+        self.sim.dispatched()
+    }
+
+    /// High-water mark of the future-event list. With the sorted arrival
+    /// stream this is bounded by peak *resident* VMs, not trace length —
+    /// asserted by `tests/hot_path_differential.rs`.
+    pub fn peak_fel_len(&self) -> usize {
+        self.sim.queue().peak_fel_len()
+    }
+
+    /// The future-event-list backend this run uses.
+    pub fn fel_backend(&self) -> FelKind {
+        self.sim.queue().backend()
     }
 
     /// The recorded time series, when enabled via

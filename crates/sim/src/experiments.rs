@@ -37,7 +37,10 @@ use risa_workload::{AzureSubset, Workload, WorkloadStats};
 /// back in job order regardless of thread count, and a panic in any job
 /// propagates to the caller. `parallel = false` runs sequentially on the
 /// calling thread, required when the experiment reports scheduler
-/// wall-clock times (Figures 11/12).
+/// wall-clock times (Figures 11/12) — sequential mode therefore also
+/// switches the scheduler timer to exact per-call measurement
+/// (`sched_timing_batch(1)`) instead of the default amortized sampling,
+/// so the figures report undiluted per-call wall-clock.
 pub fn run_matrix(
     cfg: &SimConfig,
     specs: &[WorkloadSpec],
@@ -49,12 +52,16 @@ pub fn run_matrix(
         .flat_map(|w| algos.iter().map(move |&a| (a, w.clone())))
         .collect();
     let run_one = |(a, w): &(Algorithm, WorkloadSpec)| {
-        SimulationBuilder::new()
+        let builder = SimulationBuilder::new()
             .config(*cfg)
             .algorithm(*a)
-            .workload(w.clone())
-            .build()
-            .run()
+            .workload(w.clone());
+        let builder = if parallel {
+            builder
+        } else {
+            builder.sched_timing_batch(1)
+        };
+        builder.build().run()
     };
     if parallel {
         jobs.par_iter().map(run_one).collect()

@@ -41,7 +41,8 @@ pub use config::{LatencyConfig, SimConfig};
 pub use report::{host_info, ExperimentReport, RunReport};
 pub use spec::WorkloadSpec;
 pub use timeline::{Timeline, TimelinePoint};
-pub use world::{DdcWorld, SimEvent};
+pub use world::{DdcWorld, SimEvent, DEFAULT_SCHED_TIMING_BATCH};
 
 // Re-export the vocabulary types callers need alongside the builder.
+pub use risa_des::FelKind;
 pub use risa_sched::Algorithm;

@@ -42,6 +42,15 @@ pub struct RunReport {
     /// Mean CPU-RAM round-trip latency over admitted VMs, ns (Figure 10).
     pub mean_cpu_ram_latency_ns: f64,
     /// Wall-clock seconds spent inside the scheduler (Figures 11/12).
+    ///
+    /// Measured **amortized** by default: one clock pair around every
+    /// K-th `Scheduler::schedule` call (K =
+    /// [`crate::DEFAULT_SCHED_TIMING_BATCH`]), scaled by `calls/sampled` —
+    /// an unbiased estimate at a fraction of the clock-read cost on the
+    /// per-arrival hot path. `SimulationBuilder::sched_timing_batch(1)`
+    /// restores the exact per-call measurement; the Figure 11/12
+    /// experiments (sequential `run_matrix`) always use it. This is the
+    /// report's only wall-clock field — everything else is deterministic.
     pub sched_seconds: f64,
     /// Deterministic scheduler operation counters — the machine-independent
     /// complement to `sched_seconds` (Figures 11/12).

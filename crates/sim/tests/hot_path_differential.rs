@@ -1,0 +1,140 @@
+//! Old-path vs new-path differential for the single-run hot loop.
+//!
+//! PR 5 rebuilt the engine's event delivery: arrivals stream from a
+//! pre-sorted cursor instead of being pushed into the future-event list,
+//! the FEL backend is pluggable (heap oracle vs calendar queue), and
+//! scheduler timing is amortized. None of that may change *behavior*: this
+//! suite replays canonical traces (a saturating synthetic run and
+//! Azure-7500) through the **legacy engine configuration** (every arrival
+//! pushed through a heap FEL — the pre-PR5 code path, kept as
+//! `SimulationBuilder::legacy_arrival_path`) and the new path under *both*
+//! FEL backends, asserting byte-identical `RunReport`s and event dispatch
+//! orders, at 1 and 8 worker threads.
+//!
+//! CI runs this file under `RISA_FEL=heap` and `RISA_FEL=calendar` so the
+//! env-var backend toggle cannot rot either.
+
+use rayon::with_num_threads;
+use risa_sim::{Algorithm, FelKind, RunReport, SimulationBuilder, WorkloadSpec};
+use risa_workload::{AzureSubset, SyntheticConfig};
+
+/// The two canonical traces: a synthetic run that saturates the paper
+/// cluster (drops exercised) and the largest Azure slice.
+fn canonical_specs() -> Vec<(&'static str, WorkloadSpec)> {
+    vec![
+        (
+            "synthetic-6000-saturating",
+            WorkloadSpec::Synthetic(SyntheticConfig::small(6000, 9)),
+        ),
+        ("azure-7500", WorkloadSpec::azure(AzureSubset::N7500, 2023)),
+    ]
+}
+
+/// Run one configuration to completion, returning the canonicalized
+/// report (wall-clock zeroed — the one nondeterministic field) and the
+/// full event dispatch order.
+fn run(spec: &WorkloadSpec, algo: Algorithm, legacy: bool, fel: FelKind) -> (String, String) {
+    let mut b = SimulationBuilder::new()
+        .algorithm(algo)
+        .workload(spec.clone())
+        .fel(fel)
+        .legacy_arrival_path(legacy);
+    if legacy {
+        // The pre-PR5 engine also timed every scheduling call.
+        b = b.sched_timing_batch(1);
+    }
+    let mut sim = b.build();
+    sim.enable_trace(20_000);
+    let mut report: RunReport = sim.run();
+    report.sched_seconds = 0.0;
+    let json = serde_json::to_string(&report).expect("report serializes");
+    let order = sim.trace().expect("trace enabled").dump();
+    (json, order)
+}
+
+/// Tentpole acceptance: legacy and two-lane paths agree byte-for-byte on
+/// reports *and* dispatch order, for both FEL backends.
+#[test]
+fn legacy_and_two_lane_paths_are_byte_identical() {
+    for (name, spec) in canonical_specs() {
+        for algo in [Algorithm::Risa, Algorithm::Nalb] {
+            let (legacy_report, legacy_order) = run(&spec, algo, true, FelKind::Heap);
+            for fel in FelKind::ALL {
+                let (report, order) = run(&spec, algo, false, fel);
+                assert_eq!(
+                    legacy_report, report,
+                    "{name}/{algo}/{fel}: RunReport diverged from the legacy engine"
+                );
+                assert_eq!(
+                    legacy_order, order,
+                    "{name}/{algo}/{fel}: event dispatch order diverged"
+                );
+            }
+        }
+    }
+}
+
+/// Thread count must not leak into the hot path: the same configuration
+/// at 1 and 8 pool threads (generation is sharded; the DES loop itself is
+/// single-threaded) produces identical bytes.
+#[test]
+fn reports_identical_at_1_and_8_jobs() {
+    for (name, spec) in canonical_specs() {
+        for fel in FelKind::ALL {
+            let go = || run(&spec, Algorithm::Risa, false, fel);
+            let one = with_num_threads(1, go);
+            let eight = with_num_threads(8, go);
+            assert_eq!(one, eight, "{name}/{fel}: --jobs changed the run");
+        }
+    }
+}
+
+/// The two-lane queue's core promise: the FEL never holds the trace, only
+/// in-flight departures — peak FEL length is bounded by peak resident VMs
+/// and stays far below the total VM count.
+#[test]
+fn peak_fel_is_resident_bounded_on_10k_run() {
+    for fel in FelKind::ALL {
+        let mut sim = SimulationBuilder::new()
+            .algorithm(Algorithm::Risa)
+            .workload(WorkloadSpec::Synthetic(SyntheticConfig::small(10_000, 7)))
+            .fel(fel)
+            .build();
+        sim.run();
+        let peak_fel = sim.peak_fel_len();
+        let peak_resident = sim.world().peak_resident() as usize;
+        assert!(peak_resident > 0);
+        assert!(
+            peak_fel <= peak_resident,
+            "{fel}: peak FEL {peak_fel} exceeds peak resident {peak_resident}"
+        );
+        assert!(
+            peak_fel < 10_000 / 4,
+            "{fel}: peak FEL {peak_fel} is not ≪ the 10k trace length"
+        );
+    }
+}
+
+/// The legacy path, by contrast, *does* hold the whole trace in the FEL —
+/// the contrast that proves the two-lane claim isn't vacuous.
+#[test]
+fn legacy_path_peaks_at_trace_length() {
+    let n = 2_000u32;
+    let mut sim = SimulationBuilder::new()
+        .workload(WorkloadSpec::Synthetic(SyntheticConfig::small(n, 7)))
+        .legacy_arrival_path(true)
+        .build();
+    sim.run();
+    assert!(sim.peak_fel_len() >= n as usize);
+}
+
+/// `RISA_FEL` (read when the builder gets no explicit `.fel()`) selects
+/// the backend; the CI legs exercise both values end to end.
+#[test]
+fn builder_default_backend_follows_env() {
+    let expected = FelKind::from_env();
+    let sim = SimulationBuilder::new()
+        .workload(WorkloadSpec::synthetic(10, 1))
+        .build();
+    assert_eq!(sim.fel_backend(), expected);
+}
