@@ -32,6 +32,7 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             seed,
             scale,
             fel,
+            arrivals,
             json,
             jobs,
         } => {
@@ -52,11 +53,25 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             if let Some(kind) = fel {
                 builder = builder.fel(kind);
             }
+            if let Some(mode) = arrivals {
+                builder = builder.arrivals(mode);
+            }
             let report = builder.build().run();
             emit(&report, json)
         }
-        Command::Bench { racks, vms, jobs } => {
+        Command::Bench {
+            racks,
+            vms,
+            jobs,
+            json,
+            des_vms,
+            gen_vms,
+            out,
+        } => {
             apply_jobs(jobs);
+            if json {
+                crate::benchjson::write_snapshots(&out, &racks, vms, des_vms, gen_vms)?;
+            }
             bench(&racks, vms)
         }
         Command::Experiment { id, seed, jobs } => {
@@ -341,6 +356,7 @@ mod tests {
             seed: 1,
             scale: 1,
             fel: None,
+            arrivals: Some(risa_sim::ArrivalMode::Streaming),
             json: false,
             jobs: None,
         };
@@ -355,6 +371,7 @@ mod tests {
             seed: 1,
             scale: 1,
             fel: None,
+            arrivals: None,
             json: true,
             jobs: None,
         };
@@ -421,6 +438,7 @@ mod tests {
             seed: 2,
             scale: 10,
             fel: Some(risa_sim::FelKind::Calendar),
+            arrivals: None,
             json: false,
             jobs: None,
         };
@@ -433,8 +451,40 @@ mod tests {
             racks: vec![12, 24],
             vms: 200,
             jobs: Some(2),
+            json: false,
+            des_vms: 100_000,
+            gen_vms: 1_000_000,
+            out: ".".into(),
         })
         .is_ok());
+    }
+
+    /// `bench --json` writes the three snapshot envelopes with their
+    /// schema tags; tiny sizes keep this a smoke test.
+    #[test]
+    fn bench_json_writes_snapshots() {
+        let dir = std::env::temp_dir().join("risa-cli-bench-json");
+        std::fs::create_dir_all(&dir).unwrap();
+        execute(Command::Bench {
+            racks: vec![12],
+            vms: 50,
+            jobs: None,
+            json: true,
+            des_vms: 1000,
+            gen_vms: 5000,
+            out: dir.to_string_lossy().to_string(),
+        })
+        .unwrap();
+        for (name, schema) in [
+            ("BENCH_des.json", "risa-bench-des/v1"),
+            ("BENCH_scale.json", "risa-bench-scale/v1"),
+            ("BENCH_gen.json", "risa-bench-gen/v1"),
+        ] {
+            let path = dir.join(name);
+            let text = std::fs::read_to_string(&path).unwrap();
+            assert!(text.contains(schema), "{name} missing schema tag");
+            std::fs::remove_file(path).unwrap();
+        }
     }
 
     #[test]

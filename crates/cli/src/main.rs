@@ -15,6 +15,7 @@
 //! thread count. Entry points: `args::parse` → `commands::execute`.
 
 mod args;
+mod benchjson;
 mod commands;
 
 use std::process::ExitCode;

@@ -2,6 +2,7 @@
 //! them to a user-supplied [`World`], which may schedule further events
 //! through an [`EventCtx`].
 
+use crate::arrivals::ArrivalSource;
 use crate::queue::EventQueue;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::EventTrace;
@@ -159,6 +160,19 @@ impl<W: World> Simulation<W> {
     /// being delivered.
     pub fn preload_sorted(&mut self, events: Vec<(SimTime, W::Event)>) {
         self.queue.preload_sorted(events);
+    }
+
+    /// Load the queue's static lane with a lazy [`ArrivalSource`] instead
+    /// of a materialized batch (see [`EventQueue::attach_arrivals`]):
+    /// arrivals are produced as the merge reaches them, so peak memory is
+    /// whatever the source buffers rather than the whole trace. Delivery
+    /// is byte-identical to preloading the source's materialized
+    /// equivalent.
+    ///
+    /// # Panics
+    /// If a previous arrival lane is still being delivered.
+    pub fn attach_arrivals(&mut self, source: Box<dyn ArrivalSource<W::Event> + Send>) {
+        self.queue.attach_arrivals(source);
     }
 
     /// Shared view of the two-lane event queue (lengths, peak FEL size,

@@ -12,23 +12,32 @@
 //!
 //! [`EventQueue`] merges two lanes at `(time, seq)`:
 //!
-//! 1. a **static lane** ([`SortedStream`], loaded via
-//!    [`Simulation::preload_sorted`]) for events known up front and already
-//!    sorted — a trace's arrivals; and
+//! 1. a **static lane** for events known (or derivable) up front and
+//!    already sorted — a trace's arrivals. It comes in two flavours: a
+//!    materialized [`SortedStream`] (loaded via
+//!    [`Simulation::preload_sorted`]) holding every arrival in one `Vec`,
+//!    or a lazy [`ArrivalSource`] (attached via
+//!    [`Simulation::attach_arrivals`]) that produces arrivals on demand —
+//!    e.g. regenerating one workload shard at a time — so the trace never
+//!    needs to exist in memory all at once; and
 //! 2. a dynamic **future-event list** for events scheduled during the run —
 //!    departures, in the DDC model.
 //!
-//! Preloading reserves the sequence numbers the events would have been
-//! pushed with, so delivery order is *byte-identical* to pushing everything
-//! up front — but the FEL stays sized to the events in flight
-//! (O(resident VMs) instead of O(all VMs)), and the up-front O(n log n)
-//! heap build disappears.
+//! Preloading (or attaching) reserves the sequence numbers the events
+//! would have been pushed with, so delivery order is *byte-identical* to
+//! pushing everything up front — but the FEL stays sized to the events in
+//! flight (O(resident VMs) instead of O(all VMs)), the up-front
+//! O(n log n) heap build disappears, and with a lazy source peak memory
+//! drops from O(trace) to O(source buffer).
 //!
 //! The FEL itself is pluggable ([`FutureEventList`], selected by
 //! [`FelKind`] / the `RISA_FEL` env var): [`BinaryHeapFel`] is the oracle
 //! implementation, and [`CalendarFel`] is a bucketed calendar queue for
 //! large in-flight sets. A proptest differential (`tests/fel_props.rs`)
-//! pins identical pop order across backends.
+//! pins identical pop order across backends; the arrival lane has the
+//! same oracle/differential structure, with [`SortedStream`] as the
+//! oracle (see [`arrivals`](crate::ArrivalSource) for the contract lazy
+//! sources must uphold).
 //!
 //! ```
 //! use risa_des::{Simulation, SimDuration, SimTime, World, EventCtx};
@@ -55,6 +64,7 @@
 
 #![warn(missing_docs)]
 
+mod arrivals;
 mod engine;
 mod fel;
 mod queue;
@@ -62,6 +72,7 @@ mod stream;
 mod time;
 mod trace;
 
+pub use arrivals::ArrivalSource;
 pub use engine::{EventCtx, RunOutcome, Simulation, StepOutcome, World};
 pub use fel::{
     BinaryHeapFel, CalendarFel, EventKey, FelKind, FutureEventList, DEFAULT_BUCKET_TICKS,

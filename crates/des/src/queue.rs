@@ -1,19 +1,26 @@
 //! The pending-event set: a **two-lane** queue ordered by `(time, seq)`.
 //!
-//! Lane 1 is an optional pre-sorted arrival cursor ([`SortedStream`],
-//! loaded via [`EventQueue::preload_sorted`]); lane 2 is the dynamic
-//! future-event list (a pluggable [`FutureEventList`] backend) that holds
-//! events scheduled during the run. [`EventQueue::pop`] merges the lanes at
-//! `(time, seq)`, so delivery order is exactly what pushing everything into
-//! one heap would produce — but the FEL stays O(events in flight) instead
-//! of O(all events ever known), and the up-front heap build disappears.
+//! Lane 1 is an optional arrival lane — either a pre-sorted materialized
+//! cursor ([`SortedStream`], loaded via [`EventQueue::preload_sorted`]) or
+//! a lazy [`ArrivalSource`] (attached via
+//! [`EventQueue::attach_arrivals`]) that produces arrivals on demand; lane
+//! 2 is the dynamic future-event list (a pluggable [`FutureEventList`]
+//! backend) that holds events scheduled during the run.
+//! [`EventQueue::pop`] merges the lanes at `(time, seq)`, so delivery
+//! order is exactly what pushing everything into one heap would produce —
+//! but the FEL stays O(events in flight) instead of O(all events ever
+//! known), the up-front heap build disappears, and with a lazy source the
+//! arrivals themselves never need to exist all at once.
 //!
 //! Determinism requirement: when two events are scheduled for the same
 //! tick, the one scheduled *first* is delivered first. No backend is
 //! required to be stable, so every entry carries a monotonically increasing
 //! sequence number that breaks ties; preloaded entries reserve the sequence
-//! numbers they would have been pushed with.
+//! numbers they would have been pushed with, and an attached source
+//! reserves [`ArrivalSource::remaining`] of them — which is why that count
+//! must be exact.
 
+use crate::arrivals::ArrivalSource;
 use crate::fel::{EventKey, FelBackend, FelKind, FutureEventList};
 use crate::stream::SortedStream;
 use crate::time::SimTime;
@@ -55,9 +62,33 @@ impl<E> Ord for QueueEntry<E> {
     }
 }
 
+/// The arrival lane: materialized cursor or lazy source.
+enum ArrivalLane<E> {
+    /// Every arrival sits in one sorted `Vec`; the stream assigns its own
+    /// (reserved) sequence numbers.
+    Sorted(SortedStream<E>),
+    /// Arrivals are produced on demand; the queue assigns consecutive
+    /// sequence numbers from the reserved base as they are popped.
+    Streamed {
+        source: Box<dyn ArrivalSource<E> + Send>,
+        next_seq: u64,
+        /// Last delivered time, for the debug monotonicity check.
+        last: Option<SimTime>,
+    },
+}
+
+impl<E> ArrivalLane<E> {
+    fn remaining(&self) -> usize {
+        match self {
+            ArrivalLane::Sorted(s) => s.remaining(),
+            ArrivalLane::Streamed { source, .. } => source.remaining(),
+        }
+    }
+}
+
 /// A deterministic two-lane event queue.
 pub struct EventQueue<E> {
-    stream: Option<SortedStream<E>>,
+    arrivals: Option<ArrivalLane<E>>,
     fel: FelBackend<E>,
     backend: FelKind,
     next_seq: u64,
@@ -91,7 +122,7 @@ impl<E> EventQueue<E> {
     /// allocates per bucket).
     pub fn with_capacity_and_backend(cap: usize, backend: FelKind) -> Self {
         EventQueue {
-            stream: None,
+            arrivals: None,
             fel: backend.instantiate(cap),
             backend,
             next_seq: 0,
@@ -114,11 +145,41 @@ impl<E> EventQueue<E> {
     /// been fully delivered yet.
     pub fn preload_sorted(&mut self, events: Vec<(SimTime, E)>) {
         assert!(
-            self.stream.as_ref().is_none_or(|s| s.remaining() == 0),
-            "preload_sorted: a previous preload is still being delivered"
+            self.arrivals.as_ref().is_none_or(|a| a.remaining() == 0),
+            "preload_sorted: a previous arrival lane is still being delivered"
         );
         let n = events.len() as u64;
-        self.stream = Some(SortedStream::new(events, self.next_seq));
+        self.arrivals = Some(ArrivalLane::Sorted(SortedStream::new(
+            events,
+            self.next_seq,
+        )));
+        self.next_seq += n;
+    }
+
+    /// Load the static lane with a lazy [`ArrivalSource`]: the source's
+    /// arrivals are delivered merged against dynamically pushed events
+    /// exactly as if they had all been preloaded now — they reserve the
+    /// next [`ArrivalSource::remaining`] sequence numbers — but are only
+    /// produced when the merge reaches them.
+    ///
+    /// The source must yield non-decreasing times and an exact `remaining`
+    /// count (see [`ArrivalSource`]); given those, delivery is
+    /// byte-identical to [`EventQueue::preload_sorted`] of the
+    /// materialized equivalent.
+    ///
+    /// # Panics
+    /// If a previous arrival lane has not been fully delivered yet.
+    pub fn attach_arrivals(&mut self, source: Box<dyn ArrivalSource<E> + Send>) {
+        assert!(
+            self.arrivals.as_ref().is_none_or(|a| a.remaining() == 0),
+            "attach_arrivals: a previous arrival lane is still being delivered"
+        );
+        let n = source.remaining() as u64;
+        self.arrivals = Some(ArrivalLane::Streamed {
+            source,
+            next_seq: self.next_seq,
+            last: None,
+        });
         self.next_seq += n;
     }
 
@@ -135,13 +196,13 @@ impl<E> EventQueue<E> {
     /// Remove and return the earliest entry across both lanes, or `None`
     /// when empty.
     pub fn pop(&mut self) -> Option<QueueEntry<E>> {
-        match (self.stream_key(), self.fel.peek_key()) {
+        match (self.arrival_key(), self.fel.peek_key()) {
             (None, None) => None,
-            (Some(_), None) => self.stream.as_mut().and_then(SortedStream::pop),
+            (Some(_), None) => self.pop_arrival(),
             (None, Some(_)) => self.fel.pop(),
             (Some(s), Some(f)) => {
                 if s < f {
-                    self.stream.as_mut().and_then(SortedStream::pop)
+                    self.pop_arrival()
                 } else {
                     self.fel.pop()
                 }
@@ -150,17 +211,44 @@ impl<E> EventQueue<E> {
     }
 
     /// Delivery time of the earliest pending event. Takes `&mut self` so
-    /// lazily-organized backends may reorder internally.
+    /// lazily-organized backends (and lazy arrival sources) may fault in
+    /// their next buffer internally.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        match (self.stream_key(), self.fel.peek_key()) {
+        match (self.arrival_key(), self.fel.peek_key()) {
             (None, None) => None,
             (Some((t, _)), None) | (None, Some((t, _))) => Some(t),
             (Some(s), Some(f)) => Some(s.min(f).0),
         }
     }
 
-    fn stream_key(&self) -> Option<EventKey> {
-        self.stream.as_ref().and_then(SortedStream::peek_key)
+    fn arrival_key(&mut self) -> Option<EventKey> {
+        match self.arrivals.as_mut()? {
+            ArrivalLane::Sorted(s) => s.peek_key(),
+            ArrivalLane::Streamed {
+                source, next_seq, ..
+            } => source.peek_time().map(|t| (t, *next_seq)),
+        }
+    }
+
+    fn pop_arrival(&mut self) -> Option<QueueEntry<E>> {
+        match self.arrivals.as_mut()? {
+            ArrivalLane::Sorted(s) => s.pop(),
+            ArrivalLane::Streamed {
+                source,
+                next_seq,
+                last,
+            } => {
+                let (at, event) = source.next()?;
+                debug_assert!(
+                    last.is_none_or(|prev| prev <= at),
+                    "ArrivalSource yielded out-of-order time {at:?} after {last:?}"
+                );
+                *last = Some(at);
+                let seq = *next_seq;
+                *next_seq += 1;
+                Some(QueueEntry { at, seq, event })
+            }
+        }
     }
 
     /// Number of pending events across both lanes.
@@ -173,9 +261,9 @@ impl<E> EventQueue<E> {
         self.len() == 0
     }
 
-    /// Events still waiting in the preloaded lane.
+    /// Events still waiting in the arrival lane (preloaded or streamed).
     pub fn stream_remaining(&self) -> usize {
-        self.stream.as_ref().map_or(0, SortedStream::remaining)
+        self.arrivals.as_ref().map_or(0, ArrivalLane::remaining)
     }
 
     /// Events currently in the future-event list (the dynamic lane).
@@ -199,7 +287,7 @@ impl<E> EventQueue<E> {
     /// Drop all pending events in both lanes (sequence counter keeps
     /// advancing so replay determinism is preserved across a clear).
     pub fn clear(&mut self) {
-        self.stream = None;
+        self.arrivals = None;
         self.fel.clear();
     }
 }
@@ -207,8 +295,14 @@ impl<E> EventQueue<E> {
 // Payload-opaque `Debug` (no `E: Debug` bound): summarizes both lanes.
 impl<E> fmt::Debug for EventQueue<E> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let lane = match &self.arrivals {
+            None => "none",
+            Some(ArrivalLane::Sorted(_)) => "sorted",
+            Some(ArrivalLane::Streamed { .. }) => "streamed",
+        };
         f.debug_struct("EventQueue")
             .field("backend", &self.backend)
+            .field("arrival_lane", &lane)
             .field("stream_remaining", &self.stream_remaining())
             .field("fel", &self.fel)
             .field("next_seq", &self.next_seq)

@@ -3,12 +3,15 @@
 use crate::config::{LatencyConfig, SimConfig};
 use crate::report::RunReport;
 use crate::spec::WorkloadSpec;
+use crate::streaming::{ArrivalMode, StreamingArrivals};
 use crate::world::{DdcWorld, DEFAULT_SCHED_TIMING_BATCH};
 use risa_des::{EventQueue, EventTrace, FelKind, Simulation};
 use risa_network::NetworkConfig;
 use risa_photonics::PhotonicsConfig;
 use risa_sched::Algorithm;
 use risa_topology::{ResourceKind, TopologyConfig, ALL_RESOURCES};
+use risa_workload::StreamingShards;
+use std::sync::Arc;
 
 /// Builder for a [`DdcSimulation`]. Defaults reproduce the paper exactly:
 /// Table 1 topology, §3.1 network, §3.2 photonics, RISA, and a small
@@ -24,6 +27,7 @@ pub struct SimulationBuilder {
     queue_capacity: Option<usize>,
     sched_timing_batch: u32,
     legacy_arrival_path: bool,
+    arrivals: Option<ArrivalMode>,
 }
 
 impl SimulationBuilder {
@@ -39,7 +43,23 @@ impl SimulationBuilder {
             queue_capacity: None,
             sched_timing_batch: DEFAULT_SCHED_TIMING_BATCH,
             legacy_arrival_path: false,
+            arrivals: None,
         }
+    }
+
+    /// Choose how arrivals reach the engine (default: the `RISA_ARRIVALS`
+    /// environment variable, falling back to
+    /// [`ArrivalMode::Materialized`]). [`ArrivalMode::Streaming`]
+    /// generates the trace shard-by-shard *during* the run — peak memory
+    /// O(resident VMs + 2 shards) instead of O(trace length) — and is
+    /// byte-identical to the materialized path (pinned by
+    /// `tests/hot_path_differential.rs`). Requires a generator-backed
+    /// [`WorkloadSpec`]; pre-built traces (and the legacy arrival path)
+    /// silently use [`ArrivalMode::Materialized`] — check
+    /// [`DdcSimulation::arrival_mode`] for the mode actually in effect.
+    pub fn arrivals(mut self, mode: ArrivalMode) -> Self {
+        self.arrivals = Some(mode);
+        self
     }
 
     /// Choose the future-event-list backend (default: the `RISA_FEL`
@@ -141,6 +161,12 @@ impl SimulationBuilder {
     /// here, *before* the run, so the report's scheduler wall-clock
     /// (`sched_seconds`) is never polluted by generation threads.
     ///
+    /// Under [`ArrivalMode::Streaming`] (generator-backed specs only) no
+    /// trace is materialized at all: the run consumes the workload
+    /// shard-by-shard, prefetching the next shard on the pool while the
+    /// engine drains the current one — same report, same event order,
+    /// O(resident VMs + 2 shards) peak memory.
+    ///
     /// Arrivals are fed to the engine through the two-lane queue's sorted
     /// stream ([`Simulation::preload_sorted`]): the trace is walked by
     /// index — no `Vec<VmRequest>` clone — and the future-event list only
@@ -150,6 +176,36 @@ impl SimulationBuilder {
     /// order) falls back to pushing arrivals through the FEL, which does
     /// not require sortedness.
     pub fn build(self) -> DdcSimulation {
+        let mode = self.arrivals.unwrap_or_else(ArrivalMode::from_env);
+        // The streaming pipeline needs a generator-backed spec (a
+        // pre-built trace has nothing to stream from) and is pointless
+        // under the legacy push-everything oracle path.
+        let streaming_source = if mode == ArrivalMode::Streaming && !self.legacy_arrival_path {
+            self.workload.shard_source()
+        } else {
+            None
+        };
+        let backend = self.fel.unwrap_or_else(FelKind::from_env);
+        let queue =
+            EventQueue::with_capacity_and_backend(self.queue_capacity.unwrap_or(0), backend);
+
+        if let Some(source) = streaming_source {
+            // Streaming: the world pulls full VmRequests from a
+            // double-buffered shard cursor; the queue pulls arrival
+            // *times* from an independent arrivals-only cursor. Nothing
+            // is materialized — peak memory is O(resident + 2 shards).
+            // Per-VM capacity validation happens at each arrival.
+            let cursor = StreamingShards::new(Arc::clone(&source));
+            let mut world = DdcWorld::new_streaming(self.cfg, self.algorithm, cursor);
+            self.prime(&mut world);
+            let mut sim = Simulation::with_queue(world, queue);
+            sim.attach_arrivals(Box::new(StreamingArrivals::new(source)));
+            return DdcSimulation {
+                sim,
+                arrival_mode: ArrivalMode::Streaming,
+            };
+        }
+
         let workload = self.workload.materialize();
         workload
             .validate_fits(&self.cfg.topology)
@@ -163,18 +219,20 @@ impl SimulationBuilder {
             .vms()
             .windows(2)
             .all(|w| w[0].arrival <= w[1].arrival);
+        // Every generator emits sorted traces and `Workload::from_vms`
+        // debug-asserts order, so an unsorted workload here means a trace
+        // deserialized from tampered/buggy JSON — surface it loudly in
+        // debug builds instead of silently taking the slow FEL fallback
+        // below (which would mask the upstream ordering bug).
+        debug_assert!(
+            self.legacy_arrival_path || sorted,
+            "workload '{}' is not sorted by arrival; fix the trace producer \
+             (release builds fall back to routing arrivals through the FEL)",
+            workload.name()
+        );
         let arrivals = crate::world::arrival_events(&workload);
         let mut world = DdcWorld::new(self.cfg, self.algorithm, workload);
-        world.set_sched_timing_batch(self.sched_timing_batch);
-        if let Some(interval) = self.timeline_interval {
-            world.enable_timeline(interval);
-        }
-        if self.audit {
-            world.enable_audit();
-        }
-        let backend = self.fel.unwrap_or_else(FelKind::from_env);
-        let queue =
-            EventQueue::with_capacity_and_backend(self.queue_capacity.unwrap_or(0), backend);
+        self.prime(&mut world);
         let mut sim = Simulation::with_queue(world, queue);
         if self.legacy_arrival_path || !sorted {
             for (at, event) in arrivals {
@@ -183,7 +241,21 @@ impl SimulationBuilder {
         } else {
             sim.preload_sorted(arrivals);
         }
-        DdcSimulation { sim }
+        DdcSimulation {
+            sim,
+            arrival_mode: ArrivalMode::Materialized,
+        }
+    }
+
+    /// Apply the builder knobs shared by both arrival paths.
+    fn prime(&self, world: &mut DdcWorld) {
+        world.set_sched_timing_batch(self.sched_timing_batch);
+        if let Some(interval) = self.timeline_interval {
+            world.enable_timeline(interval);
+        }
+        if self.audit {
+            world.enable_audit();
+        }
     }
 }
 
@@ -198,6 +270,7 @@ impl Default for SimulationBuilder {
 #[derive(Debug)]
 pub struct DdcSimulation {
     sim: Simulation<DdcWorld>,
+    arrival_mode: ArrivalMode,
 }
 
 impl DdcSimulation {
@@ -205,6 +278,13 @@ impl DdcSimulation {
     pub fn run(&mut self) -> RunReport {
         self.sim.run_to_completion();
         debug_assert_eq!(self.sim.clamped_schedules(), 0);
+        // Drained queue ⇒ every admitted VM departed and released its
+        // slot (the sparse store's residency-bounded-memory invariant).
+        debug_assert_eq!(
+            self.sim.world().assignments.occupied(),
+            self.sim.world().resident() as usize
+        );
+        debug_assert!(self.sim.world().assignments.all_free());
         self.sim.world_mut().flush_timeline();
         self.sim.world_mut().finish_audit();
         self.report()
@@ -230,8 +310,8 @@ impl DdcSimulation {
         let inter_cap = w.net.inter_capacity_mbps() as f64;
         RunReport {
             algorithm: w.algorithm(),
-            workload: w.workload.name().to_string(),
-            total_vms: w.workload.len() as u32,
+            workload: w.source.name().to_string(),
+            total_vms: w.source.total(),
             admitted: w.counters.admitted,
             dropped: w.counters.dropped_compute + w.counters.dropped_network,
             dropped_compute: w.counters.dropped_compute,
@@ -299,6 +379,22 @@ impl DdcSimulation {
         self.sim.queue().backend()
     }
 
+    /// The arrival pipeline actually in effect (streaming requests fall
+    /// back to [`ArrivalMode::Materialized`] on pre-built traces and
+    /// under the legacy arrival path).
+    pub fn arrival_mode(&self) -> ArrivalMode {
+        self.arrival_mode
+    }
+
+    /// High-water mark of VMs buffered by the streaming workload cursor;
+    /// `None` on the materialized path. Bounded by
+    /// 2×[`risa_workload::shard::SHARD_SIZE`] by construction — the
+    /// memory-bound half of the streaming pipeline's contract (asserted
+    /// by `tests/streaming_bounds.rs`).
+    pub fn peak_buffered_arrivals(&self) -> Option<usize> {
+        self.sim.world().stream_peak_buffered()
+    }
+
     /// The recorded time series, when enabled via
     /// [`SimulationBuilder::record_timeline`].
     pub fn timeline(&self) -> Option<&crate::timeline::Timeline> {
@@ -361,6 +457,61 @@ mod tests {
             .run();
         assert_eq!(a.total_vms, b.total_vms);
         assert_eq!(a.workload, b.workload);
+    }
+
+    /// The whole point of the pipeline: identical reports (and admitted
+    /// counters, energies, …) whether the trace is materialized up front
+    /// or streamed shard-by-shard during the run.
+    #[test]
+    fn streaming_report_equals_materialized_report() {
+        let run = |mode: ArrivalMode| {
+            let mut sim = SimulationBuilder::new()
+                .workload(WorkloadSpec::synthetic(9000, 13)) // 3 shards
+                .arrivals(mode)
+                .audit(true)
+                .build();
+            assert_eq!(sim.arrival_mode(), mode);
+            let mut r = sim.run();
+            r.sched_seconds = 0.0;
+            (r, sim.events_dispatched(), sim.peak_fel_len())
+        };
+        let (m_report, m_events, m_fel) = run(ArrivalMode::Materialized);
+        let (s_report, s_events, s_fel) = run(ArrivalMode::Streaming);
+        assert_eq!(s_report, m_report);
+        assert_eq!(s_events, m_events);
+        assert_eq!(s_fel, m_fel);
+    }
+
+    #[test]
+    fn streaming_bounds_buffered_arrivals() {
+        use risa_workload::shard::SHARD_SIZE;
+        let mut sim = SimulationBuilder::new()
+            .workload(WorkloadSpec::synthetic(3 * SHARD_SIZE, 5))
+            .arrivals(ArrivalMode::Streaming)
+            .build();
+        sim.run();
+        let peak = sim.peak_buffered_arrivals().expect("streaming run");
+        assert!(peak <= 2 * SHARD_SIZE as usize, "peak {peak}");
+        assert!(peak > 0);
+    }
+
+    #[test]
+    fn streaming_falls_back_to_materialized_on_traces() {
+        let trace = WorkloadSpec::Trace(WorkloadSpec::synthetic(20, 2).materialize());
+        let sim = SimulationBuilder::new()
+            .workload(trace)
+            .arrivals(ArrivalMode::Streaming)
+            .build();
+        assert_eq!(sim.arrival_mode(), ArrivalMode::Materialized);
+        assert_eq!(sim.peak_buffered_arrivals(), None);
+
+        // …and the legacy oracle path always materializes too.
+        let sim = SimulationBuilder::new()
+            .workload(WorkloadSpec::synthetic(20, 2))
+            .arrivals(ArrivalMode::Streaming)
+            .legacy_arrival_path(true)
+            .build();
+        assert_eq!(sim.arrival_mode(), ArrivalMode::Materialized);
     }
 
     #[test]

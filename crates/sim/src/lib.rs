@@ -33,13 +33,15 @@ mod config;
 pub mod experiments;
 mod report;
 mod spec;
+mod streaming;
 mod timeline;
 mod world;
 
 pub use builder::{DdcSimulation, SimulationBuilder};
 pub use config::{LatencyConfig, SimConfig};
-pub use report::{host_info, ExperimentReport, RunReport};
+pub use report::{host_info, peak_rss_bytes, ExperimentReport, RunReport};
 pub use spec::WorkloadSpec;
+pub use streaming::ArrivalMode;
 pub use timeline::{Timeline, TimelinePoint};
 pub use world::{DdcWorld, SimEvent, DEFAULT_SCHED_TIMING_BATCH};
 

@@ -127,6 +127,22 @@ pub fn host_info() -> String {
     )
 }
 
+/// Peak resident-set size of this process so far, in bytes (`VmHWM` from
+/// `/proc/self/status`); `None` where procfs is unavailable. The
+/// instrumentation hook behind the streaming pipeline's bounded-memory
+/// claim: a 10M-VM streaming run's RSS stays flat where a materialized
+/// one grows with the trace (see `risa-bench --bench des_streaming`).
+///
+/// This is a *high-water mark* — it never decreases, and it covers the
+/// whole process (allocator slack included), so compare runs in separate
+/// processes, not phases of one.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib * 1024)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,6 +212,18 @@ mod tests {
     #[test]
     fn host_info_mentions_cores() {
         assert!(host_info().contains("cores"));
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn peak_rss_is_positive_and_monotone() {
+        let a = peak_rss_bytes().expect("procfs available on linux");
+        assert!(a > 0);
+        let hog = vec![1u8; 1 << 20];
+        let b = peak_rss_bytes().unwrap();
+        assert!(b >= a, "high-water mark never decreases");
+        drop(hog);
+        assert!(peak_rss_bytes().unwrap() >= b);
     }
 
     #[test]

@@ -1,7 +1,11 @@
 //! Workload specification: how the simulation obtains its VM trace.
 
-use risa_workload::{AzureSubset, SyntheticConfig, Workload};
+use risa_workload::azure::AzureProcess;
+use risa_workload::{
+    AzureShards, AzureSubset, ShardSource, SyntheticConfig, SyntheticShards, Workload,
+};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Declarative description of the workload a simulation should run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -50,6 +54,25 @@ impl WorkloadSpec {
             WorkloadSpec::Trace(w) => w.clone(),
         }
     }
+
+    /// The spec as a lazy per-shard generator, when it is backed by one —
+    /// the handle [`crate::ArrivalMode::Streaming`] runs on. `None` for
+    /// pre-built traces, which have nothing to generate lazily.
+    ///
+    /// The source generates the *same trace* [`WorkloadSpec::materialize`]
+    /// produces (shard-for-shard the identical code and RNG streams), so
+    /// consuming it through a cursor is byte-identical to materializing.
+    pub fn shard_source(&self) -> Option<Arc<dyn ShardSource>> {
+        match self {
+            WorkloadSpec::Synthetic(cfg) => Some(Arc::new(SyntheticShards::new(cfg))),
+            WorkloadSpec::Azure { subset, seed } => Some(Arc::new(AzureShards::new(
+                *subset,
+                *seed,
+                AzureProcess::default(),
+            ))),
+            WorkloadSpec::Trace(_) => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -74,6 +97,25 @@ mod tests {
         let w = WorkloadSpec::synthetic(5, 3).materialize();
         let spec = WorkloadSpec::Trace(w.clone());
         assert_eq!(spec.materialize(), w);
+    }
+
+    /// The shard source must regenerate exactly the trace `materialize`
+    /// yields — the foundation of the streaming/materialized identity.
+    #[test]
+    fn shard_source_reproduces_materialize() {
+        for spec in [
+            WorkloadSpec::synthetic(5000, 21),
+            WorkloadSpec::azure(AzureSubset::N3000, 8),
+        ] {
+            let source = spec.shard_source().expect("generator-backed");
+            assert_eq!(
+                risa_workload::shard::materialize(&*source),
+                spec.materialize().vms()
+            );
+            assert_eq!(source.label(), spec.materialize().name());
+        }
+        let trace = WorkloadSpec::Trace(WorkloadSpec::synthetic(3, 1).materialize());
+        assert!(trace.shard_source().is_none());
     }
 
     #[test]

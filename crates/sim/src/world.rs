@@ -9,8 +9,9 @@ use risa_network::NetworkState;
 use risa_photonics::{EnergyModel, SwitchPath};
 use risa_sched::audit::ScheduleAuditor;
 use risa_sched::{Algorithm, DropReason, ScheduleOutcome, Scheduler, VmAssignment};
-use risa_topology::{Cluster, ResourceKind, ALL_RESOURCES};
-use risa_workload::Workload;
+use risa_topology::{Cluster, ResourceKind, TopologyConfig, ALL_RESOURCES};
+use risa_workload::{StreamingShards, VmRequest, Workload};
+use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 /// Default scheduler-timing batch: one clock pair per 16 scheduling calls
@@ -122,6 +123,134 @@ pub(crate) fn arrival_events(workload: &Workload) -> Vec<(risa_des::SimTime, Sim
         .collect()
 }
 
+/// Where the world's VM requests come from: the whole trace up front, or
+/// a bounded-memory cursor yielding them in arrival (= index) order.
+///
+/// Arrival events are delivered strictly in VM-index order on both paths
+/// (the stitched trace is sorted and the queue's static lane preserves
+/// insertion order among equal times), so the streaming cursor — which
+/// can only move forward — always has the VM the next `Arrival(idx)`
+/// event asks for.
+#[derive(Debug)]
+pub(crate) enum VmSource {
+    /// The full trace, indexable at random.
+    Materialized(Workload),
+    /// A double-buffered shard cursor: ≤ 2 shards of VMs resident.
+    Streaming(StreamingShards),
+}
+
+impl VmSource {
+    /// Workload label for reports.
+    pub(crate) fn name(&self) -> &str {
+        match self {
+            VmSource::Materialized(w) => w.name(),
+            VmSource::Streaming(c) => c.label(),
+        }
+    }
+
+    /// Total requests in the workload.
+    pub(crate) fn total(&self) -> u32 {
+        match self {
+            VmSource::Materialized(w) => w.len() as u32,
+            VmSource::Streaming(c) => c.total_vms(),
+        }
+    }
+
+    /// The request for arrival event `idx`.
+    ///
+    /// The materialized path validated every VM against the single-box
+    /// assumption at build time; the streaming path cannot (the trace
+    /// does not exist yet), so it checks each VM here as it surfaces —
+    /// same panic, just deferred to the offending arrival.
+    fn take(&mut self, idx: u32, cfg: &TopologyConfig) -> VmRequest {
+        match self {
+            VmSource::Materialized(w) => w.vms()[idx as usize],
+            VmSource::Streaming(cursor) => {
+                let vm = cursor
+                    .next()
+                    .expect("arrival event beyond the end of the streamed workload");
+                debug_assert_eq!(
+                    vm.id.0, idx,
+                    "streamed VM out of step with the arrival event order"
+                );
+                if vm.demand(cfg).max_units() > cfg.box_capacity_units() {
+                    panic!(
+                        "VM {} exceeds single-box capacity (paper §2 assumption)",
+                        vm.id
+                    );
+                }
+                vm
+            }
+        }
+    }
+}
+
+/// Per-VM slot storage sized to the arrival path: dense `Vec` when the
+/// whole trace is materialized (O(1) indexing, one slot per VM), sparse
+/// map when streaming (live entries bounded by *resident* VMs — a dense
+/// vector over a 10M-VM trace would defeat the bounded-memory run).
+#[derive(Debug, Clone)]
+pub(crate) enum PerVmSlots<T> {
+    Dense(Vec<Option<T>>),
+    Sparse(HashMap<u32, T>),
+}
+
+impl<T: Clone> PerVmSlots<T> {
+    fn dense(n: usize) -> Self {
+        PerVmSlots::Dense(vec![None; n])
+    }
+
+    fn sparse() -> Self {
+        PerVmSlots::Sparse(HashMap::new())
+    }
+
+    /// Store `value` for VM `idx` (slot must be empty).
+    fn insert(&mut self, idx: u32, value: T) {
+        match self {
+            PerVmSlots::Dense(v) => {
+                debug_assert!(v[idx as usize].is_none(), "slot {idx} already occupied");
+                v[idx as usize] = Some(value);
+            }
+            PerVmSlots::Sparse(m) => {
+                let old = m.insert(idx, value);
+                debug_assert!(old.is_none(), "slot {idx} already occupied");
+            }
+        }
+    }
+
+    /// Remove and return VM `idx`'s value, if present.
+    fn take(&mut self, idx: u32) -> Option<T> {
+        match self {
+            PerVmSlots::Dense(v) => v[idx as usize].take(),
+            PerVmSlots::Sparse(m) => m.remove(&idx),
+        }
+    }
+
+    /// Borrow VM `idx`'s value, if present.
+    fn get(&self, idx: u32) -> Option<&T> {
+        match self {
+            PerVmSlots::Dense(v) => v[idx as usize].as_ref(),
+            PerVmSlots::Sparse(m) => m.get(&idx),
+        }
+    }
+
+    /// True when no VM holds a value (end-of-run: everything departed).
+    pub(crate) fn all_free(&self) -> bool {
+        match self {
+            PerVmSlots::Dense(v) => v.iter().all(Option::is_none),
+            PerVmSlots::Sparse(m) => m.is_empty(),
+        }
+    }
+
+    /// Live entries (resident VMs with a value).
+    pub(crate) fn occupied(&self) -> usize {
+        match self {
+            PerVmSlots::Dense(v) => v.iter().filter(|s| s.is_some()).count(),
+            PerVmSlots::Sparse(m) => m.len(),
+        }
+    }
+}
+
 /// Raw per-run counters, exposed through [`crate::RunReport`].
 #[derive(Debug, Clone, Default)]
 pub(crate) struct Counters {
@@ -138,10 +267,10 @@ pub struct DdcWorld {
     pub(crate) cluster: Cluster,
     pub(crate) net: NetworkState,
     pub(crate) scheduler: Scheduler,
-    pub(crate) workload: Workload,
+    pub(crate) source: VmSource,
     energy: EnergyModel,
     cfg: SimConfig,
-    assignments: Vec<Option<VmAssignment>>,
+    pub(crate) assignments: PerVmSlots<VmAssignment>,
     pub(crate) counters: Counters,
     /// Time-weighted used units per resource kind.
     pub(crate) util: [TimeWeighted; 3],
@@ -165,25 +294,54 @@ pub struct DdcWorld {
     pub(crate) timeline: Option<Timeline>,
     /// Optional independent auditor replaying every assignment against a
     /// shadow ledger; violations fail the run loudly.
-    pub(crate) auditor: Option<(ScheduleAuditor, Vec<Option<u64>>)>,
+    pub(crate) auditor: Option<(ScheduleAuditor, PerVmSlots<u64>)>,
 }
 
 impl DdcWorld {
     /// Build a pristine world for `algorithm` over `workload`.
     pub fn new(cfg: SimConfig, algorithm: Algorithm, workload: Workload) -> Self {
+        let n = workload.len();
+        Self::with_source(
+            cfg,
+            algorithm,
+            VmSource::Materialized(workload),
+            PerVmSlots::dense(n),
+        )
+    }
+
+    /// Build a world consuming VMs lazily from a streaming shard cursor
+    /// (bounded memory; see [`crate::ArrivalMode::Streaming`]).
+    pub(crate) fn new_streaming(
+        cfg: SimConfig,
+        algorithm: Algorithm,
+        cursor: StreamingShards,
+    ) -> Self {
+        Self::with_source(
+            cfg,
+            algorithm,
+            VmSource::Streaming(cursor),
+            PerVmSlots::sparse(),
+        )
+    }
+
+    fn with_source(
+        cfg: SimConfig,
+        algorithm: Algorithm,
+        source: VmSource,
+        assignments: PerVmSlots<VmAssignment>,
+    ) -> Self {
         let cluster = Cluster::new(cfg.topology);
         let net = NetworkState::new(cfg.network, &cluster);
         let scheduler = Scheduler::new(algorithm, &cluster);
         let energy = EnergyModel::new(cfg.photonics);
-        let n = workload.len();
         DdcWorld {
             cluster,
             net,
             scheduler,
-            workload,
+            source,
             energy,
             cfg,
-            assignments: vec![None; n],
+            assignments,
             counters: Counters::default(),
             util: [
                 TimeWeighted::new(0.0, 0.0),
@@ -207,8 +365,11 @@ impl DdcWorld {
     /// ledger; see `risa_sched::audit`). The driver calls
     /// `finish_audit` at end of run and panics on violations.
     pub fn enable_audit(&mut self) {
-        let n = self.workload.len();
-        self.auditor = Some((ScheduleAuditor::new(&self.cluster), vec![None; n]));
+        let seqs = match &self.source {
+            VmSource::Materialized(w) => PerVmSlots::dense(w.len()),
+            VmSource::Streaming(_) => PerVmSlots::sparse(),
+        };
+        self.auditor = Some((ScheduleAuditor::new(&self.cluster), seqs));
     }
 
     /// Close the audit; panics with the violation list if the scheduler
@@ -285,7 +446,26 @@ impl DdcWorld {
 
     /// Assignment of VM `idx`, if admitted and still resident.
     pub fn assignment(&self, idx: u32) -> Option<&VmAssignment> {
-        self.assignments[idx as usize].as_ref()
+        self.assignments.get(idx)
+    }
+
+    /// High-water mark of VMs buffered by the streaming workload cursor
+    /// (current shard + outstanding prefetch); `None` on the materialized
+    /// path. Bounded by 2×`risa_workload::shard::SHARD_SIZE`.
+    pub fn stream_peak_buffered(&self) -> Option<usize> {
+        match &self.source {
+            VmSource::Materialized(_) => None,
+            VmSource::Streaming(c) => Some(c.peak_buffered()),
+        }
+    }
+
+    /// Shards the streaming cursor has generated so far; `None` on the
+    /// materialized path.
+    pub fn stream_shards_generated(&self) -> Option<u32> {
+        match &self.source {
+            VmSource::Materialized(_) => None,
+            VmSource::Streaming(c) => Some(c.shards_generated()),
+        }
     }
 
     fn sample_state(&mut self, t: f64) {
@@ -328,7 +508,7 @@ impl DdcWorld {
     }
 
     fn on_arrival(&mut self, idx: u32, now: f64, ctx: &mut EventCtx<'_, SimEvent>) {
-        let vm = self.workload.vms()[idx as usize];
+        let vm = self.source.take(idx, &self.cfg.topology);
         let demand = vm.demand(&self.cfg.topology);
 
         let timing = self.sched.start();
@@ -367,9 +547,9 @@ impl DdcWorld {
                 self.optical_energy_j +=
                     self.flow_energy(a.network.ram_sto.inter_rack, a.network.ram_sto.mbps, life_s);
                 if let Some((auditor, seqs)) = self.auditor.as_mut() {
-                    seqs[idx as usize] = Some(auditor.admit(&self.cluster, &a));
+                    seqs.insert(idx, auditor.admit(&self.cluster, &a));
                 }
-                self.assignments[idx as usize] = Some(a);
+                self.assignments.insert(idx, a);
                 self.resident += 1;
                 self.peak_resident = self.peak_resident.max(self.resident);
                 ctx.schedule_in(
@@ -388,12 +568,13 @@ impl DdcWorld {
     }
 
     fn on_departure(&mut self, idx: u32, now: f64) {
-        let a = self.assignments[idx as usize]
-            .take()
+        let a = self
+            .assignments
+            .take(idx)
             .expect("departure of a VM that was never admitted");
         Scheduler::release(&mut self.cluster, &mut self.net, &a);
         if let Some((auditor, seqs)) = self.auditor.as_mut() {
-            let seq = seqs[idx as usize].take().expect("audited VM has a seq");
+            let seq = seqs.take(idx).expect("audited VM has a seq");
             auditor.release(seq);
         }
         self.resident -= 1;
@@ -440,8 +621,57 @@ mod tests {
         assert_eq!(w.cluster.total_available(ResourceKind::Cpu), 4608);
         assert_eq!(w.net.intra_used_mbps(), 0);
         assert_eq!(w.net.inter_used_mbps(), 0);
-        assert!(w.assignments.iter().all(Option::is_none));
+        assert!(w.assignments.all_free());
         w.cluster.check_invariants().unwrap();
+    }
+
+    /// A world fed by the streaming cursor reaches the same end state as
+    /// the materialized one (the full differential lives in
+    /// `tests/hot_path_differential.rs`; this is the in-module smoke).
+    #[test]
+    fn streaming_world_matches_materialized_end_state() {
+        use crate::streaming::StreamingArrivals;
+        use risa_workload::{ShardSource, SyntheticShards};
+        use std::sync::Arc;
+
+        let cfg = SyntheticConfig::small(200, 3);
+        let source: Arc<dyn ShardSource> = Arc::new(SyntheticShards::new(&cfg));
+        let cursor = StreamingShards::new(Arc::clone(&source));
+        let mut world = DdcWorld::new_streaming(SimConfig::paper(), Algorithm::Risa, cursor);
+        world.enable_audit();
+        let mut sim = Simulation::new(world);
+        sim.attach_arrivals(Box::new(StreamingArrivals::new(source)));
+        sim.run_to_completion();
+        let mut w = sim.into_world();
+        w.finish_audit();
+
+        let oracle = run_world(Algorithm::Risa, 200, 3);
+        assert_eq!(w.counters.admitted, oracle.counters.admitted);
+        assert_eq!(w.counters.inter_rack, oracle.counters.inter_rack);
+        assert_eq!(w.optical_energy_j, oracle.optical_energy_j);
+        assert_eq!(w.end_time, oracle.end_time);
+        assert!(w.assignments.all_free());
+        assert_eq!(w.source.name(), "synthetic");
+        assert_eq!(w.source.total(), 200);
+        assert!(w.stream_peak_buffered().unwrap() >= 200);
+        assert_eq!(w.stream_shards_generated(), Some(1));
+        assert_eq!(oracle.stream_peak_buffered(), None);
+    }
+
+    /// The sparse assignment store never holds more entries than resident
+    /// VMs — the invariant that makes streaming runs bounded-memory.
+    #[test]
+    fn sparse_slots_track_residency() {
+        let mut slots: PerVmSlots<u8> = PerVmSlots::sparse();
+        assert!(slots.all_free());
+        slots.insert(7, 1);
+        slots.insert(1_000_000, 2); // far beyond any dense allocation
+        assert_eq!(slots.occupied(), 2);
+        assert_eq!(slots.get(7), Some(&1));
+        assert_eq!(slots.take(1_000_000), Some(2));
+        assert_eq!(slots.take(7), Some(1));
+        assert!(slots.all_free());
+        assert_eq!(slots.take(7), None);
     }
 
     #[test]

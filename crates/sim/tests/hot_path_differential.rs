@@ -11,11 +11,17 @@
 //! FEL backends, asserting byte-identical `RunReport`s and event dispatch
 //! orders, at 1 and 8 worker threads.
 //!
-//! CI runs this file under `RISA_FEL=heap` and `RISA_FEL=calendar` so the
-//! env-var backend toggle cannot rot either.
+//! PR 6 added a third lane to the same differential: the **streaming
+//! arrival pipeline** (`ArrivalMode::Streaming`) generates the trace
+//! shard-by-shard during the run instead of materializing it, and must
+//! also be byte-identical — same reports, same dispatch order, both FEL
+//! backends, 1 and 8 threads.
+//!
+//! CI runs this file under `RISA_FEL=heap` / `RISA_FEL=calendar` and
+//! `RISA_ARRIVALS=streaming` so neither env toggle can rot.
 
 use rayon::with_num_threads;
-use risa_sim::{Algorithm, FelKind, RunReport, SimulationBuilder, WorkloadSpec};
+use risa_sim::{Algorithm, ArrivalMode, FelKind, RunReport, SimulationBuilder, WorkloadSpec};
 use risa_workload::{AzureSubset, SyntheticConfig};
 
 /// The two canonical traces: a synthetic run that saturates the paper
@@ -34,10 +40,21 @@ fn canonical_specs() -> Vec<(&'static str, WorkloadSpec)> {
 /// report (wall-clock zeroed — the one nondeterministic field) and the
 /// full event dispatch order.
 fn run(spec: &WorkloadSpec, algo: Algorithm, legacy: bool, fel: FelKind) -> (String, String) {
+    run_mode(spec, algo, legacy, fel, ArrivalMode::Materialized)
+}
+
+fn run_mode(
+    spec: &WorkloadSpec,
+    algo: Algorithm,
+    legacy: bool,
+    fel: FelKind,
+    arrivals: ArrivalMode,
+) -> (String, String) {
     let mut b = SimulationBuilder::new()
         .algorithm(algo)
         .workload(spec.clone())
         .fel(fel)
+        .arrivals(arrivals)
         .legacy_arrival_path(legacy);
     if legacy {
         // The pre-PR5 engine also timed every scheduling call.
@@ -137,4 +154,54 @@ fn builder_default_backend_follows_env() {
         .workload(WorkloadSpec::synthetic(10, 1))
         .build();
     assert_eq!(sim.fel_backend(), expected);
+}
+
+/// PR 6 tentpole acceptance: the **streaming** pipeline — trace generated
+/// shard-by-shard during the run, nothing materialized — produces
+/// byte-identical `RunReport` JSON and event dispatch order on both
+/// canonical traces, under both FEL backends.
+#[test]
+fn streaming_pipeline_is_byte_identical_to_materialized() {
+    for (name, spec) in canonical_specs() {
+        for algo in [Algorithm::Risa, Algorithm::Nalb] {
+            let (m_report, m_order) =
+                run_mode(&spec, algo, false, FelKind::Heap, ArrivalMode::Materialized);
+            for fel in FelKind::ALL {
+                let (report, order) = run_mode(&spec, algo, false, fel, ArrivalMode::Streaming);
+                assert_eq!(
+                    m_report, report,
+                    "{name}/{algo}/{fel}: streaming RunReport diverged"
+                );
+                assert_eq!(
+                    m_order, order,
+                    "{name}/{algo}/{fel}: streaming dispatch order diverged"
+                );
+            }
+        }
+    }
+}
+
+/// Thread count must not leak into the streaming pipeline either: shard
+/// prefetch moves *where* shards generate, never what they contain.
+#[test]
+fn streaming_reports_identical_at_1_and_8_jobs() {
+    for (name, spec) in canonical_specs() {
+        for fel in FelKind::ALL {
+            let go = || run_mode(&spec, Algorithm::Risa, false, fel, ArrivalMode::Streaming);
+            let one = with_num_threads(1, go);
+            let eight = with_num_threads(8, go);
+            assert_eq!(one, eight, "{name}/{fel}: --jobs changed the streaming run");
+        }
+    }
+}
+
+/// `RISA_ARRIVALS` (read when the builder gets no explicit `.arrivals()`)
+/// selects the pipeline; the CI streaming leg exercises it end to end.
+#[test]
+fn builder_default_arrival_mode_follows_env() {
+    let expected = ArrivalMode::from_env();
+    let sim = SimulationBuilder::new()
+        .workload(WorkloadSpec::synthetic(10, 1))
+        .build();
+    assert_eq!(sim.arrival_mode(), expected);
 }

@@ -17,7 +17,7 @@
 //! any slice — matching the paper's "no VMs were dropped" observation
 //! (see EXPERIMENTS.md "calibration").
 
-use crate::shard::{self, Stream};
+use crate::shard::{self, ShardSource, Stream};
 use crate::synthetic::SyntheticConfig;
 use crate::vm::{VmId, VmRequest, Workload};
 use rand::rngs::StdRng;
@@ -116,61 +116,99 @@ pub fn generate(subset: AzureSubset, seed: u64) -> Workload {
     generate_with(subset, seed, AzureProcess::default())
 }
 
-/// Generate with an explicit arrival/lifetime process (ablation hook).
+/// The Azure-like workload as a lazy [`ShardSource`].
 ///
-/// The deck shuffles stay sequential (they are O(n) swaps on one stream);
-/// the per-VM draws — interarrival deltas and the small-RAM coin — are
-/// sharded over the `rayon` pool exactly like the synthetic generator
-/// (see [`crate::shard`]), so the output is byte-identical at any thread
-/// count. Resource draws come from a stream separate from the arrival
-/// deltas, so changing the [`AzureProcess`] moves arrivals and lifetimes
-/// only, never the per-VM CPU/RAM sequence.
-pub fn generate_with(subset: AzureSubset, seed: u64, process: AzureProcess) -> Workload {
-    assert!(
-        process.interarrival_mean.is_finite() && process.interarrival_mean > 0.0,
-        "AzureProcess: interarrival_mean must be finite and > 0 (got {})",
-        process.interarrival_mean
-    );
-    assert!(
-        process.lifetime_step_every >= 1,
-        "AzureProcess: lifetime_step_every must be at least 1 (got 0); \
-         the staircase divides the request index by it"
-    );
-    let n = subset.len();
-    let deck_seed = seed ^ 0xA2A2_5EED;
-    let mut rng = StdRng::seed_from_u64(deck_seed);
+/// Construction validates the process and performs the sequential deck
+/// shuffles once (O(n) `u32`s retained for the source's lifetime — ~60 KB
+/// at the largest slice, negligible next to a shard buffer); each shard's
+/// per-VM draws then come from that shard's own RNG streams, so
+/// [`ShardSource::shard_vms`] is a pure function of `(self, shard)` and
+/// the streaming cursor reproduces the materialized trace byte-for-byte.
+/// [`ShardSource::shard_arrivals`] walks only the arrivals stream — the
+/// decks and the small-RAM coin never perturb arrival times.
+pub struct AzureShards {
+    subset: AzureSubset,
+    deck_seed: u64,
+    cpu_deck: Vec<u32>,
+    ram_deck: Vec<u32>,
+    staircase: SyntheticConfig,
+    exp: Exp,
+}
 
-    // Deck draws: exact marginal counts, seeded order.
-    let mut cpu_deck: Vec<u32> = subset
-        .cpu_marginal()
-        .iter()
-        .flat_map(|&(v, c)| std::iter::repeat_n(v, c as usize))
-        .collect();
-    let mut ram_deck: Vec<u32> = subset
-        .ram_marginal()
-        .iter()
-        .flat_map(|&(v, c)| std::iter::repeat_n(v, c as usize))
-        .collect();
-    debug_assert_eq!(cpu_deck.len(), n as usize);
-    debug_assert_eq!(ram_deck.len(), n as usize);
-    cpu_deck.shuffle(&mut rng);
-    ram_deck.shuffle(&mut rng);
+impl AzureShards {
+    /// Validate `process`, draw the decks, and wrap everything as a shard
+    /// source.
+    ///
+    /// # Panics
+    /// On a non-finite/non-positive interarrival mean or a zero
+    /// `lifetime_step_every` — the same contract as [`generate_with`].
+    pub fn new(subset: AzureSubset, seed: u64, process: AzureProcess) -> Self {
+        assert!(
+            process.interarrival_mean.is_finite() && process.interarrival_mean > 0.0,
+            "AzureProcess: interarrival_mean must be finite and > 0 (got {})",
+            process.interarrival_mean
+        );
+        assert!(
+            process.lifetime_step_every >= 1,
+            "AzureProcess: lifetime_step_every must be at least 1 (got 0); \
+             the staircase divides the request index by it"
+        );
+        let n = subset.len();
+        let deck_seed = seed ^ 0xA2A2_5EED;
+        let mut rng = StdRng::seed_from_u64(deck_seed);
 
-    let staircase = SyntheticConfig {
-        lifetime_base: process.lifetime_base,
-        lifetime_step: process.lifetime_step,
-        lifetime_step_every: process.lifetime_step_every,
-        ..SyntheticConfig::paper(0)
-    };
-    let exp = Exp::new(1.0 / process.interarrival_mean).expect("positive rate");
-    let vms = shard::generate_stitched(n, |shard_idx, range| {
-        let mut arrivals = shard::stream_rng(deck_seed, shard_idx, Stream::Arrivals);
-        let mut resources = shard::stream_rng(deck_seed, shard_idx, Stream::Resources);
+        // Deck draws: exact marginal counts, seeded order.
+        let mut cpu_deck: Vec<u32> = subset
+            .cpu_marginal()
+            .iter()
+            .flat_map(|&(v, c)| std::iter::repeat_n(v, c as usize))
+            .collect();
+        let mut ram_deck: Vec<u32> = subset
+            .ram_marginal()
+            .iter()
+            .flat_map(|&(v, c)| std::iter::repeat_n(v, c as usize))
+            .collect();
+        debug_assert_eq!(cpu_deck.len(), n as usize);
+        debug_assert_eq!(ram_deck.len(), n as usize);
+        cpu_deck.shuffle(&mut rng);
+        ram_deck.shuffle(&mut rng);
+
+        let staircase = SyntheticConfig {
+            lifetime_base: process.lifetime_base,
+            lifetime_step: process.lifetime_step,
+            lifetime_step_every: process.lifetime_step_every,
+            ..SyntheticConfig::paper(0)
+        };
+        let exp = Exp::new(1.0 / process.interarrival_mean).expect("positive rate");
+        AzureShards {
+            subset,
+            deck_seed,
+            cpu_deck,
+            ram_deck,
+            staircase,
+            exp,
+        }
+    }
+}
+
+impl ShardSource for AzureShards {
+    fn total_vms(&self) -> u32 {
+        self.subset.len()
+    }
+
+    fn label(&self) -> &str {
+        self.subset.label()
+    }
+
+    fn shard_vms(&self, shard_idx: u32) -> (Vec<VmRequest>, f64) {
+        let mut arrivals = shard::stream_rng(self.deck_seed, shard_idx, Stream::Arrivals);
+        let mut resources = shard::stream_rng(self.deck_seed, shard_idx, Stream::Resources);
         let mut t = 0.0f64;
-        let vms = range
+        let vms = self
+            .shard_range(shard_idx)
             .map(|i| {
-                t += exp.sample(&mut arrivals);
-                let ram_gb = match ram_deck[i as usize] {
+                t += self.exp.sample(&mut arrivals);
+                let ram_gb = match self.ram_deck[i as usize] {
                     // "Small" bucket: 2 or 4 GB, both one RAM unit.
                     0 => {
                         if resources.gen_bool(0.5) {
@@ -183,17 +221,58 @@ pub fn generate_with(subset: AzureSubset, seed: u64, process: AzureProcess) -> W
                 };
                 VmRequest {
                     id: VmId(i),
-                    cpu_cores: cpu_deck[i as usize],
+                    cpu_cores: self.cpu_deck[i as usize],
                     ram_gb,
                     storage_gb: 128,
                     arrival: t,
-                    lifetime: staircase.lifetime_of(i),
+                    lifetime: self.staircase.lifetime_of(i),
                 }
             })
             .collect();
         (vms, t)
-    });
-    Workload::from_vms(subset.label(), vms)
+    }
+
+    fn shard_arrivals(&self, shard_idx: u32) -> (Vec<f64>, f64) {
+        // Arrivals-stream-only pass: decks, the small-RAM coin, and the
+        // staircase never touch the arrivals RNG, so the delta sequence is
+        // bit-identical to the full pass above.
+        let mut arrivals = shard::stream_rng(self.deck_seed, shard_idx, Stream::Arrivals);
+        let mut t = 0.0f64;
+        let times = self
+            .shard_range(shard_idx)
+            .map(|_| {
+                t += self.exp.sample(&mut arrivals);
+                t
+            })
+            .collect();
+        (times, t)
+    }
+}
+
+// Manual `Debug`: the decks are thousands of entries; summarize.
+impl std::fmt::Debug for AzureShards {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AzureShards")
+            .field("subset", &self.subset)
+            .field("deck_seed", &self.deck_seed)
+            .field("staircase", &self.staircase)
+            .finish()
+    }
+}
+
+/// Generate with an explicit arrival/lifetime process (ablation hook).
+///
+/// The deck shuffles stay sequential (they are O(n) swaps on one stream);
+/// the per-VM draws — interarrival deltas and the small-RAM coin — are
+/// sharded over the `rayon` pool exactly like the synthetic generator
+/// (see [`crate::shard`]), so the output is byte-identical at any thread
+/// count — and to draining a [`crate::StreamingShards`] cursor over
+/// [`AzureShards`]. Resource draws come from a stream separate from the
+/// arrival deltas, so changing the [`AzureProcess`] moves arrivals and
+/// lifetimes only, never the per-VM CPU/RAM sequence.
+pub fn generate_with(subset: AzureSubset, seed: u64, process: AzureProcess) -> Workload {
+    let source = AzureShards::new(subset, seed, process);
+    Workload::from_vms(subset.label(), shard::materialize(&source))
 }
 
 #[cfg(test)]
@@ -351,5 +430,37 @@ mod tests {
             let many = rayon::with_num_threads(threads, || generate(AzureSubset::N7500, 42));
             assert_eq!(many, one, "threads={threads}");
         }
+    }
+
+    /// The arrivals-only pass must be bit-identical to the arrival column
+    /// of the full per-shard pass (decks and the small-RAM coin draw from
+    /// other streams).
+    #[test]
+    fn shard_arrivals_match_full_pass_bit_for_bit() {
+        let source = AzureShards::new(AzureSubset::N7500, 13, AzureProcess::default());
+        assert_eq!(source.num_shards(), 2);
+        for shard_idx in 0..source.num_shards() {
+            let (vms, full_total) = source.shard_vms(shard_idx);
+            let (times, cheap_total) = source.shard_arrivals(shard_idx);
+            assert_eq!(full_total.to_bits(), cheap_total.to_bits());
+            let full_times: Vec<f64> = vms.iter().map(|vm| vm.arrival).collect();
+            assert_eq!(times, full_times, "shard {shard_idx}");
+        }
+    }
+
+    /// A streaming cursor over [`AzureShards`] reproduces the materialized
+    /// trace byte-for-byte.
+    #[test]
+    fn streaming_cursor_matches_materialized() {
+        use crate::StreamingShards;
+        use std::sync::Arc;
+        let expect = generate(AzureSubset::N7500, 5);
+        let mut cursor = StreamingShards::new(Arc::new(AzureShards::new(
+            AzureSubset::N7500,
+            5,
+            AzureProcess::default(),
+        )));
+        let got: Vec<VmRequest> = std::iter::from_fn(|| cursor.next()).collect();
+        assert_eq!(got, expect.vms());
     }
 }

@@ -23,6 +23,16 @@
 //! **byte-identical trace at any thread count** (`RISA_THREADS=1` and
 //! `--jobs 8` agree exactly).
 //!
+//! Because every shard is independently derivable, traces can also be
+//! consumed **lazily**: a generator exposed as a [`ShardSource`] produces
+//! any single shard on demand, and a [`StreamingShards`] cursor walks the
+//! workload holding at most two shards in memory — the one being consumed
+//! plus the next one prefetching on the `rayon` pool. The cursor's running
+//! offset performs the same sequential `f64` additions as the materialized
+//! prefix sum, so streaming and materialized traces are byte-identical by
+//! construction (see [`shard`] and the `risa-sim` streaming arrival
+//! pipeline built on top).
+//!
 //! > **Trace-version note:** the sharded stream replaced the legacy
 //! > single-stream generator as the canonical trace. Distributions and all
 //! > Figure 6 marginals are unchanged, but a given seed produces a
@@ -48,10 +58,13 @@ pub mod csv;
 pub mod ops;
 pub mod shard;
 mod stats;
+mod streaming;
 mod synthetic;
 mod vm;
 
-pub use azure::AzureSubset;
+pub use azure::{AzureShards, AzureSubset};
+pub use shard::ShardSource;
 pub use stats::WorkloadStats;
-pub use synthetic::{LifetimeModel, SyntheticConfig};
+pub use streaming::StreamingShards;
+pub use synthetic::{LifetimeModel, SyntheticConfig, SyntheticShards};
 pub use vm::{VmId, VmRequest, Workload};

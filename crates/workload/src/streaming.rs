@@ -1,0 +1,245 @@
+//! A double-buffered cursor over a [`ShardSource`] — bounded-memory
+//! workload consumption with shard prefetch.
+//!
+//! [`StreamingShards`] walks a workload in VM-index order (which, for the
+//! stitched trace, is also arrival-time order) holding **at most two
+//! shards** in memory: the shard currently being consumed and the next
+//! one, generating on the resident `rayon` pool via
+//! [`rayon::spawn_task`] while the consumer drains the current buffer.
+//! Peak buffered VMs is therefore ≤ 2×[`SHARD_SIZE`] regardless of trace
+//! length (tracked exactly by [`StreamingShards::peak_buffered`] and
+//! asserted by `crates/sim/tests/streaming_bounds.rs`), and generation
+//! wall-clock overlaps consumption instead of preceding it.
+//!
+//! ## Determinism
+//!
+//! The cursor yields the *byte-identical* VM sequence of
+//! [`materialize`](crate::shard::materialize) on the same source:
+//!
+//! * each shard's VMs come from the same per-shard generation code
+//!   ([`ShardSource::shard_vms`]), driven by `(seed, shard, stream)` RNGs
+//!   that owe nothing to neighbouring shards;
+//! * absolute arrivals are rebased with the same running-offset
+//!   accumulation (`offset += total`, then `offset + local`) the
+//!   materialized prefix sum performs — the identical `f64` additions in
+//!   the identical order, hence bit-equal times;
+//! * prefetch only moves *where* a shard is generated, never *what* it
+//!   contains — at pool width 1 the task runs inline and the cursor is
+//!   exactly sequential.
+
+use crate::shard::{ShardSource, SHARD_SIZE};
+use crate::vm::VmRequest;
+use rayon::Task;
+use std::fmt;
+use std::sync::Arc;
+
+/// A bounded-memory, prefetching cursor over a [`ShardSource`]; see the
+/// module docs.
+pub struct StreamingShards {
+    source: Arc<dyn ShardSource>,
+    /// Current shard's VMs, arrivals already rebased to absolute time.
+    current: Vec<VmRequest>,
+    /// Cursor into `current`.
+    pos: usize,
+    /// Global index of the next VM [`StreamingShards::next`] will yield.
+    consumed: u32,
+    /// The shard the outstanding `prefetch` (or the next swap) produces.
+    next_shard: u32,
+    /// Absolute time offset of `next_shard` — the running prefix sum.
+    offset: f64,
+    prefetch: Option<Task<(Vec<VmRequest>, f64)>>,
+    peak_buffered: usize,
+    shards_generated: u32,
+}
+
+impl StreamingShards {
+    /// Start a cursor at VM 0 and kick off the prefetch of shard 0.
+    pub fn new(source: Arc<dyn ShardSource>) -> Self {
+        let (prefetch, peak_buffered) = if source.num_shards() > 0 {
+            (Some(Self::launch(&source, 0)), source.shard_range(0).len())
+        } else {
+            (None, 0)
+        };
+        StreamingShards {
+            source,
+            current: Vec::new(),
+            pos: 0,
+            consumed: 0,
+            next_shard: 0,
+            offset: 0.0,
+            prefetch,
+            peak_buffered,
+            shards_generated: 0,
+        }
+    }
+
+    fn launch(source: &Arc<dyn ShardSource>, shard: u32) -> Task<(Vec<VmRequest>, f64)> {
+        let src = Arc::clone(source);
+        rayon::spawn_task(move || src.shard_vms(shard))
+    }
+
+    fn swap_in_next_shard(&mut self) {
+        // Invariant: `prefetch`, when present, holds shard `next_shard`.
+        let task = self
+            .prefetch
+            .take()
+            .unwrap_or_else(|| Self::launch(&self.source, self.next_shard));
+        let (mut vms, total) = task.wait();
+        debug_assert_eq!(vms.len(), self.source.shard_range(self.next_shard).len());
+        // Rebase shard-local arrivals: the same `offset + local` addition
+        // the materialized path performs, against the same running offset.
+        let o = self.offset;
+        for vm in &mut vms {
+            // `+=` is the same IEEE addition as the materialized path's
+            // `o + local` (f64 `+` is commutative), so times stay
+            // bit-identical.
+            vm.arrival += o;
+        }
+        self.offset += total;
+        self.current = vms;
+        self.pos = 0;
+        self.next_shard += 1;
+        self.shards_generated += 1;
+        let mut buffered = self.current.len();
+        if self.next_shard < self.source.num_shards() {
+            self.prefetch = Some(Self::launch(&self.source, self.next_shard));
+            buffered += self.source.shard_range(self.next_shard).len();
+        }
+        self.peak_buffered = self.peak_buffered.max(buffered);
+    }
+
+    /// VMs not yet yielded (exact).
+    pub fn remaining(&self) -> usize {
+        (self.source.total_vms() - self.consumed) as usize
+    }
+
+    /// Total VMs in the underlying workload.
+    pub fn total_vms(&self) -> u32 {
+        self.source.total_vms()
+    }
+
+    /// Workload name, from the source.
+    pub fn label(&self) -> &str {
+        self.source.label()
+    }
+
+    /// High-water mark of VMs buffered at once (current shard plus any
+    /// outstanding prefetch). Bounded by 2×[`SHARD_SIZE`] by construction.
+    pub fn peak_buffered(&self) -> usize {
+        debug_assert!(self.peak_buffered <= 2 * SHARD_SIZE as usize);
+        self.peak_buffered
+    }
+
+    /// Shards generated so far (consumed or in the current buffer).
+    pub fn shards_generated(&self) -> u32 {
+        self.shards_generated
+    }
+}
+
+impl Iterator for StreamingShards {
+    type Item = VmRequest;
+
+    /// Yield the next VM in index order, or `None` when the workload is
+    /// exhausted. Crossing a shard boundary waits for the prefetched
+    /// shard, rebases its arrivals, and immediately starts prefetching
+    /// the one after.
+    fn next(&mut self) -> Option<VmRequest> {
+        while self.pos == self.current.len() {
+            if self.next_shard >= self.source.num_shards() {
+                return None;
+            }
+            self.swap_in_next_shard();
+        }
+        let vm = self.current[self.pos];
+        self.pos += 1;
+        self.consumed += 1;
+        Some(vm)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.remaining();
+        (n, Some(n))
+    }
+}
+
+// Manual `Debug`: the source trait object and the prefetch task are
+// opaque; summarize progress instead.
+impl fmt::Debug for StreamingShards {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StreamingShards")
+            .field("label", &self.source.label())
+            .field("consumed", &self.consumed)
+            .field("total_vms", &self.source.total_vms())
+            .field("next_shard", &self.next_shard)
+            .field("prefetch_outstanding", &self.prefetch.is_some())
+            .field("peak_buffered", &self.peak_buffered)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::materialize;
+    use crate::synthetic::SyntheticShards;
+    use crate::SyntheticConfig;
+
+    fn source(n: u32, seed: u64) -> Arc<dyn ShardSource> {
+        Arc::new(SyntheticShards::new(&SyntheticConfig::small(n, seed)))
+    }
+
+    /// The streaming cursor must reproduce the materialized VM sequence
+    /// bit-for-bit — including arrivals across shard boundaries — at any
+    /// thread count.
+    #[test]
+    fn cursor_matches_materialized_byte_for_byte() {
+        let n = 3 * SHARD_SIZE + 123;
+        let expect = materialize(&*source(n, 42));
+        for threads in [1, 2, 8] {
+            let got: Vec<VmRequest> = rayon::with_num_threads(threads, || {
+                let mut cursor = StreamingShards::new(source(n, 42));
+                std::iter::from_fn(|| cursor.next()).collect()
+            });
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn peak_buffered_is_bounded_by_two_shards() {
+        let n = 5 * SHARD_SIZE + 7;
+        let mut cursor = StreamingShards::new(source(n, 9));
+        let mut count = 0u32;
+        while cursor.next().is_some() {
+            count += 1;
+            assert!(cursor.peak_buffered() <= 2 * SHARD_SIZE as usize);
+        }
+        assert_eq!(count, n);
+        assert_eq!(cursor.remaining(), 0);
+        assert!(cursor.peak_buffered() >= SHARD_SIZE as usize);
+        assert_eq!(cursor.shards_generated(), cursor.source.num_shards());
+    }
+
+    #[test]
+    fn remaining_counts_down_exactly() {
+        let n = SHARD_SIZE + 10;
+        let mut cursor = StreamingShards::new(source(n, 3));
+        assert_eq!(cursor.remaining(), n as usize);
+        assert_eq!(cursor.total_vms(), n);
+        assert_eq!(cursor.label(), "synthetic");
+        for left in (0..n as usize).rev() {
+            let vm = cursor.next().expect("not exhausted");
+            assert_eq!(vm.id.0 as usize, n as usize - 1 - left);
+            assert_eq!(cursor.remaining(), left);
+        }
+        assert!(cursor.next().is_none());
+        assert!(cursor.next().is_none(), "exhaustion is stable");
+    }
+
+    #[test]
+    fn empty_workload_yields_nothing() {
+        let mut cursor = StreamingShards::new(source(0, 1));
+        assert!(cursor.next().is_none());
+        assert_eq!(cursor.remaining(), 0);
+        assert_eq!(cursor.peak_buffered(), 0);
+    }
+}

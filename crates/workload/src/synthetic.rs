@@ -7,7 +7,7 @@
 //! > at 6300 time units, with an increment of 360 time units for each set
 //! > of 100 requests. A total of 2500 VMs were generated."
 
-use crate::shard::{self, Stream};
+use crate::shard::{self, ShardSource, Stream};
 use crate::vm::{VmId, VmRequest, Workload};
 use rand::Rng;
 use rand_distr::{Distribution, Exp};
@@ -92,58 +92,97 @@ impl SyntheticConfig {
     }
 }
 
-/// Generate the workload described by `cfg`.
+/// The synthetic workload as a lazy [`ShardSource`]: any shard can be
+/// generated on its own from the config's `(seed, shard, stream)` RNGs.
 ///
-/// Generation is sharded: every [`shard::SHARD_SIZE`] VMs draw from their
-/// own `(seed, shard)`-derived RNG streams and run concurrently on the
-/// `rayon` pool, with absolute arrivals stitched by a prefix sum over
-/// per-shard interarrival totals (see [`crate::shard`]). The output is
-/// byte-identical at any thread count.
-pub fn generate(cfg: &SyntheticConfig) -> Workload {
-    assert!(
-        cfg.interarrival_mean.is_finite() && cfg.interarrival_mean > 0.0,
-        "SyntheticConfig: interarrival_mean must be finite and > 0 (got {})",
-        cfg.interarrival_mean
-    );
-    assert!(cfg.cpu_cores.0 >= 1 && cfg.cpu_cores.0 <= cfg.cpu_cores.1);
-    assert!(cfg.ram_gb.0 >= 1 && cfg.ram_gb.0 <= cfg.ram_gb.1);
-    assert!(
-        cfg.lifetime_step_every >= 1,
-        "SyntheticConfig: lifetime_step_every must be at least 1 (got 0); \
-         the staircase divides the request index by it"
-    );
-    match cfg.lifetime_model {
-        LifetimeModel::Staircase => {}
-        LifetimeModel::Exponential { mean } => {
-            assert!(
-                mean.is_finite() && mean > 0.0,
-                "SyntheticConfig: exponential lifetime mean must be finite and > 0 (got {mean})"
-            );
+/// Construction validates the config once (the same panics as
+/// `generate`); [`ShardSource::shard_vms`] then runs the per-shard
+/// generation code shared with the materialized path, and
+/// [`ShardSource::shard_arrivals`] is overridden to walk only the
+/// [`Stream::Arrivals`] stream — arrival deltas never depend on resource
+/// draws, so the cheap pass is bit-identical to the full one's arrival
+/// column (asserted in this module's tests).
+#[derive(Debug, Clone, Copy)]
+pub struct SyntheticShards {
+    cfg: SyntheticConfig,
+    exp: Exp,
+    lifetime_exp: Option<Exp>,
+}
+
+impl SyntheticShards {
+    /// Validate `cfg` and wrap it as a shard source.
+    ///
+    /// # Panics
+    /// On non-finite/non-positive interarrival or lifetime parameters,
+    /// inverted resource ranges, or a zero `lifetime_step_every` — the
+    /// same contract as `generate`.
+    pub fn new(cfg: &SyntheticConfig) -> Self {
+        assert!(
+            cfg.interarrival_mean.is_finite() && cfg.interarrival_mean > 0.0,
+            "SyntheticConfig: interarrival_mean must be finite and > 0 (got {})",
+            cfg.interarrival_mean
+        );
+        assert!(cfg.cpu_cores.0 >= 1 && cfg.cpu_cores.0 <= cfg.cpu_cores.1);
+        assert!(cfg.ram_gb.0 >= 1 && cfg.ram_gb.0 <= cfg.ram_gb.1);
+        assert!(
+            cfg.lifetime_step_every >= 1,
+            "SyntheticConfig: lifetime_step_every must be at least 1 (got 0); \
+             the staircase divides the request index by it"
+        );
+        match cfg.lifetime_model {
+            LifetimeModel::Staircase => {}
+            LifetimeModel::Exponential { mean } => {
+                assert!(
+                    mean.is_finite() && mean > 0.0,
+                    "SyntheticConfig: exponential lifetime mean must be finite and > 0 (got {mean})"
+                );
+            }
+            LifetimeModel::Fixed { value } => {
+                assert!(
+                    value.is_finite() && value >= 0.0,
+                    "SyntheticConfig: fixed lifetime must be finite and non-negative (got {value})"
+                );
+            }
         }
-        LifetimeModel::Fixed { value } => {
-            assert!(
-                value.is_finite() && value >= 0.0,
-                "SyntheticConfig: fixed lifetime must be finite and non-negative (got {value})"
-            );
+        let exp = Exp::new(1.0 / cfg.interarrival_mean).expect("positive rate");
+        let lifetime_exp = match cfg.lifetime_model {
+            LifetimeModel::Exponential { mean } => {
+                Some(Exp::new(1.0 / mean).expect("positive rate"))
+            }
+            _ => None,
+        };
+        SyntheticShards {
+            cfg: *cfg,
+            exp,
+            lifetime_exp,
         }
     }
-    let exp = Exp::new(1.0 / cfg.interarrival_mean).expect("positive rate");
-    let lifetime_exp = match cfg.lifetime_model {
-        LifetimeModel::Exponential { mean } => Some(Exp::new(1.0 / mean).expect("positive rate")),
-        _ => None,
-    };
-    let vms = shard::generate_stitched(cfg.num_vms, |shard_idx, range| {
+}
+
+impl ShardSource for SyntheticShards {
+    fn total_vms(&self) -> u32 {
+        self.cfg.num_vms
+    }
+
+    fn label(&self) -> &str {
+        "synthetic"
+    }
+
+    fn shard_vms(&self, shard_idx: u32) -> (Vec<VmRequest>, f64) {
+        let cfg = &self.cfg;
         let mut arrivals = shard::stream_rng(cfg.seed, shard_idx, Stream::Arrivals);
         let mut resources = shard::stream_rng(cfg.seed, shard_idx, Stream::Resources);
         let mut t = 0.0f64;
-        let vms = range
+        let vms = self
+            .shard_range(shard_idx)
             .map(|i| {
-                t += exp.sample(&mut arrivals);
+                t += self.exp.sample(&mut arrivals);
                 let lifetime = match cfg.lifetime_model {
                     LifetimeModel::Staircase => cfg.lifetime_of(i),
-                    LifetimeModel::Exponential { .. } => {
-                        lifetime_exp.expect("hoisted above").sample(&mut resources)
-                    }
+                    LifetimeModel::Exponential { .. } => self
+                        .lifetime_exp
+                        .expect("hoisted above")
+                        .sample(&mut resources),
                     LifetimeModel::Fixed { value } => value,
                 };
                 VmRequest {
@@ -157,8 +196,37 @@ pub fn generate(cfg: &SyntheticConfig) -> Workload {
             })
             .collect();
         (vms, t)
-    });
-    Workload::from_vms("synthetic", vms)
+    }
+
+    fn shard_arrivals(&self, shard_idx: u32) -> (Vec<f64>, f64) {
+        // Arrivals-stream-only pass: the resource RNG is never touched, so
+        // the delta sequence — and therefore every time — is bit-identical
+        // to the full pass above.
+        let mut arrivals = shard::stream_rng(self.cfg.seed, shard_idx, Stream::Arrivals);
+        let mut t = 0.0f64;
+        let times = self
+            .shard_range(shard_idx)
+            .map(|_| {
+                t += self.exp.sample(&mut arrivals);
+                t
+            })
+            .collect();
+        (times, t)
+    }
+}
+
+/// Generate the workload described by `cfg`.
+///
+/// Generation is sharded: every [`shard::SHARD_SIZE`] VMs draw from their
+/// own `(seed, shard)`-derived RNG streams and run concurrently on the
+/// `rayon` pool, with absolute arrivals stitched by a prefix sum over
+/// per-shard interarrival totals (see [`crate::shard`]). The output is
+/// byte-identical at any thread count — and to draining a
+/// [`crate::StreamingShards`] cursor over [`SyntheticShards`], which runs
+/// the same per-shard code lazily.
+pub fn generate(cfg: &SyntheticConfig) -> Workload {
+    let source = SyntheticShards::new(cfg);
+    Workload::from_vms("synthetic", shard::materialize(&source))
 }
 
 #[cfg(test)]
@@ -299,5 +367,31 @@ mod tests {
         let w = generate(&SyntheticConfig::paper(8));
         assert_eq!(w.vms()[0].lifetime, 6300.0);
         assert_eq!(w.vms()[150].lifetime, 6660.0);
+    }
+
+    /// The arrivals-only pass must be bit-identical to the arrival column
+    /// of the full per-shard pass — for every lifetime model, including
+    /// the one whose lifetimes sample the *resources* stream.
+    #[test]
+    fn shard_arrivals_match_full_pass_bit_for_bit() {
+        let models = [
+            LifetimeModel::Staircase,
+            LifetimeModel::Exponential { mean: 5000.0 },
+            LifetimeModel::Fixed { value: 7.0 },
+        ];
+        for model in models {
+            let cfg = SyntheticConfig {
+                lifetime_model: model,
+                ..SyntheticConfig::small(2 * crate::shard::SHARD_SIZE + 50, 21)
+            };
+            let source = SyntheticShards::new(&cfg);
+            for shard_idx in 0..source.num_shards() {
+                let (vms, full_total) = source.shard_vms(shard_idx);
+                let (times, cheap_total) = source.shard_arrivals(shard_idx);
+                assert_eq!(full_total.to_bits(), cheap_total.to_bits(), "{model:?}");
+                let full_times: Vec<f64> = vms.iter().map(|vm| vm.arrival).collect();
+                assert_eq!(times, full_times, "{model:?} shard {shard_idx}");
+            }
+        }
     }
 }

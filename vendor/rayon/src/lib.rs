@@ -37,6 +37,10 @@
 //! * **Panic propagation** — a panic in a worker closure is re-raised on
 //!   the drive's caller with its payload intact, however deep the
 //!   nesting, like real rayon.
+//! * **Asynchronous tasks** — [`spawn_task`] queues a fire-and-forget
+//!   job with a [`Task`] result handle (the streaming shard-prefetch
+//!   primitive; see [`task`]). At width 1 it degenerates to an inline
+//!   call, keeping `RISA_THREADS=1` exactly sequential.
 //!
 //! Swapping real rayon back in remains a manifest-only change for the
 //! `prelude` and [`join`] call sites; [`set_num_threads`] /
@@ -49,12 +53,14 @@ pub mod iter;
 mod job;
 pub mod pool;
 mod registry;
+pub mod task;
 
 pub use pool::{
     current_num_threads, resident_workers, set_num_threads, total_worker_spawns, warm_up,
     with_num_threads,
 };
 pub use registry::join;
+pub use task::{spawn_task, Task};
 
 /// Drop-in for `rayon::prelude`.
 pub mod prelude {

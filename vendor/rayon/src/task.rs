@@ -1,0 +1,238 @@
+//! Fire-and-forget tasks with a result handle — the prefetch primitive.
+//!
+//! [`crate::join`] is a *blocking* split point: called from an external
+//! thread it degenerates to running both closures sequentially, which is
+//! useless for producer/consumer overlap (a simulation engine that wants
+//! the next workload shard generated *while* it drains the current one).
+//! [`spawn_task`] fills that gap: it queues a heap-allocated job on the
+//! resident pool and returns immediately with a [`Task`] handle; the
+//! caller collects the result later with [`Task::wait`].
+//!
+//! Semantics, in the order the streaming arrival pipeline relies on them:
+//!
+//! * **Overlap** — with a pool width ≥ 2 the closure runs on a resident
+//!   worker while the spawning thread keeps executing. With a width of 1
+//!   the closure runs *inline* at the spawn site instead, so
+//!   `RISA_THREADS=1` remains the exactly-sequential code path (and a
+//!   single-width pool can never strand a queued job behind a blocked
+//!   external waiter).
+//! * **Deadlock freedom** — a pool worker waiting on a task *helps*: it
+//!   keeps executing queued jobs (possibly including the spawned task
+//!   itself, popped back off its own deque) until the task's latch opens,
+//!   exactly like a `join` frame waiting on a stolen half. External
+//!   waiters block on a mutex/condvar pair.
+//! * **Panic propagation** — a panicking task parks its payload in the
+//!   result slot; [`Task::wait`] re-raises it on the waiter.
+//! * **Detachment** — dropping a [`Task`] without waiting is allowed: the
+//!   job still runs (workers never exit), its result is simply dropped.
+//!
+//! Determinism note: *what* a task computes must not depend on *where* it
+//! runs — the workspace's spawn sites compute pure functions of their
+//! captures (a workload shard from `(seed, shard)` streams), so inline vs
+//! pooled execution changes wall-clock overlap only, never bytes.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::job::{CoreLatch, Job, JobRef, Latch};
+use crate::pool::current_num_threads;
+use crate::registry;
+
+/// Shared completion state between a spawned job and its [`Task`] handle.
+struct Shared<T> {
+    /// The result (or panic payload), written exactly once by the
+    /// executing thread.
+    slot: Mutex<Option<std::thread::Result<T>>>,
+    /// Wakes an *external* waiter blocked in [`Task::wait`].
+    cond: Condvar,
+    /// Wakes a *pool-worker* waiter (which helps with other jobs while it
+    /// waits, so it needs the registry-routed latch).
+    core: CoreLatch,
+}
+
+/// A heap-allocated job: unlike [`crate::job::StackJob`] it owns its
+/// closure, so the `JobRef` in the queue keeps the job alive on its own —
+/// no creator stack frame to outlive.
+struct HeapJob<F: FnOnce() + Send> {
+    f: F,
+}
+
+impl<F: FnOnce() + Send> HeapJob<F> {
+    /// Erase a boxed job into a queueable [`JobRef`].
+    ///
+    /// Safety contract: the returned `JobRef` owns the allocation; it must
+    /// be executed exactly once (the deque/injector protocols guarantee
+    /// that), and execution reclaims the box.
+    fn into_job_ref(self: Box<Self>) -> JobRef {
+        let ptr = Box::into_raw(self);
+        // Safety: `ptr` stays valid until `execute` reclaims it; the queue
+        // protocols deliver the JobRef to exactly one executor.
+        unsafe { JobRef::new(ptr) }
+    }
+}
+
+impl<F: FnOnce() + Send> Job for HeapJob<F> {
+    unsafe fn execute(this: *const Self) {
+        let job = Box::from_raw(this as *mut Self);
+        (job.f)();
+    }
+}
+
+/// Handle to a task queued by [`spawn_task`]; redeem it with
+/// [`Task::wait`].
+pub struct Task<T> {
+    inner: Inner<T>,
+}
+
+enum Inner<T> {
+    /// The closure already ran inline (sequential mode).
+    Ready(Option<std::thread::Result<T>>),
+    /// The closure is queued on (or running in) the pool.
+    Pooled(Arc<Shared<T>>),
+}
+
+impl<T: Send> Task<T> {
+    /// Block until the task finishes and return its result. A panic inside
+    /// the task is re-raised here with its payload intact.
+    ///
+    /// Called from a pool worker, the wait *helps*: this thread keeps
+    /// executing other queued jobs until the task completes, so waiting on
+    /// a task from inside a parallel drive cannot deadlock the pool.
+    pub fn wait(self) -> T {
+        let result = match self.inner {
+            Inner::Ready(result) => result.expect("task result present"),
+            Inner::Pooled(shared) => {
+                match registry::current_worker_index() {
+                    Some(index) => registry::global().wait_until(index, &shared.core),
+                    None => {
+                        let mut slot = shared.slot.lock().expect("task mutex");
+                        while slot.is_none() {
+                            slot = shared.cond.wait(slot).expect("task condvar");
+                        }
+                    }
+                }
+                shared
+                    .slot
+                    .lock()
+                    .expect("task mutex")
+                    .take()
+                    .expect("task completed, result present")
+            }
+        };
+        match result {
+            Ok(value) => value,
+            Err(payload) => panic::resume_unwind(payload),
+        }
+    }
+
+    /// True once the task has finished (its result is ready to collect
+    /// without blocking). Always true for inline (width-1) tasks.
+    pub fn is_finished(&self) -> bool {
+        match &self.inner {
+            Inner::Ready(_) => true,
+            Inner::Pooled(shared) => shared.core.probe(),
+        }
+    }
+}
+
+/// Queue `f` on the resident pool and return a handle to its result.
+///
+/// With an effective width of 1 (see [`current_num_threads`]) and no pool
+/// worker context, `f` runs inline before this returns — the sequential
+/// code path, byte-identical in effect, just without overlap. Otherwise
+/// the job lands on the spawning worker's own deque (stealable by idle
+/// siblings) or, from an external thread, in the global injector after the
+/// pool has been grown to the current width.
+pub fn spawn_task<T, F>(f: F) -> Task<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let worker = registry::current_worker_index();
+    let width = current_num_threads();
+    if worker.is_none() && width <= 1 {
+        // Sequential mode: no worker may exist to ever run an injected
+        // job, so run it here and now.
+        return Task {
+            inner: Inner::Ready(Some(panic::catch_unwind(AssertUnwindSafe(f)))),
+        };
+    }
+
+    let reg = registry::global();
+    let shared = Arc::new(Shared {
+        slot: Mutex::new(None),
+        cond: Condvar::new(),
+        core: CoreLatch::new(reg),
+    });
+    let state = Arc::clone(&shared);
+    let job = Box::new(HeapJob {
+        f: move || {
+            let result = panic::catch_unwind(AssertUnwindSafe(f));
+            *state.slot.lock().expect("task mutex") = Some(result);
+            // Order matters for the worker-waiter: the slot write above
+            // happens-before the latch store it probes. External waiters
+            // synchronize on the slot mutex itself.
+            state.core.set();
+            state.cond.notify_all();
+        },
+    });
+    match worker {
+        Some(index) => reg.push_local(index, job.into_job_ref()),
+        None => {
+            // Make sure someone exists to run the injected job.
+            reg.ensure_workers(width);
+            reg.inject(job.into_job_ref());
+        }
+    }
+    Task {
+        inner: Inner::Pooled(shared),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_one_runs_inline_on_the_calling_thread() {
+        let caller = std::thread::current().id();
+        let task = crate::with_num_threads(1, || spawn_task(move || std::thread::current().id()));
+        assert!(task.is_finished());
+        assert_eq!(task.wait(), caller);
+    }
+
+    #[test]
+    fn pooled_task_returns_its_value() {
+        let task = crate::with_num_threads(4, || spawn_task(|| (0..100u64).sum::<u64>()));
+        assert_eq!(task.wait(), 4950);
+    }
+
+    #[test]
+    fn panic_propagates_through_wait() {
+        for threads in [1, 4] {
+            let task =
+                crate::with_num_threads(threads, || spawn_task(|| -> u32 { panic!("task boom") }));
+            let err = std::panic::catch_unwind(AssertUnwindSafe(|| task.wait())).unwrap_err();
+            let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+            assert_eq!(msg, "task boom", "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn dropping_a_task_without_waiting_is_harmless() {
+        let ran = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let flag = Arc::clone(&ran);
+        let task = crate::with_num_threads(2, || {
+            spawn_task(move || flag.store(true, std::sync::atomic::Ordering::SeqCst))
+        });
+        drop(task);
+        // The job still runs eventually; don't spin forever if it broke.
+        for _ in 0..500 {
+            if ran.load(std::sync::atomic::Ordering::SeqCst) {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        panic!("detached task never ran");
+    }
+}

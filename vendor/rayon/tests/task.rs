@@ -1,0 +1,93 @@
+//! Integration battery for `spawn_task`/`Task` — the shard-prefetch
+//! primitive. The unit tests in `src/task.rs` cover the basic external
+//! spawn/wait contract; these exercise the interactions that matter to
+//! the streaming arrival pipeline: spawning from inside pool workers,
+//! waiting while other drives contend for the same workers, and the
+//! producer/consumer overlap that is the whole point.
+
+use rayon::prelude::*;
+use rayon::{spawn_task, with_num_threads};
+
+/// A worker that waits on a task it spawned must not deadlock, even when
+/// every worker in the pool is doing the same thing at once (the wait
+/// help-loop can pop the task back off the waiter's own deque).
+#[test]
+fn every_worker_spawning_and_waiting_does_not_deadlock() {
+    for threads in [2, 4] {
+        let jobs: Vec<u64> = (0..32).collect();
+        let got: Vec<u64> = with_num_threads(threads, || {
+            jobs.par_iter()
+                .map(|&j| spawn_task(move || j * j).wait())
+                .collect()
+        });
+        let expect: Vec<u64> = jobs.iter().map(|&j| j * j).collect();
+        assert_eq!(got, expect, "threads={threads}");
+    }
+}
+
+/// Chained prefetch, the exact streaming-cursor shape: hold a task for
+/// item k+1 while "consuming" item k, from an external thread.
+#[test]
+fn chained_prefetch_yields_items_in_order() {
+    for threads in [1, 2, 8] {
+        with_num_threads(threads, || {
+            let produce = |k: u64| move || (k, k * 10);
+            let mut pending = spawn_task(produce(0));
+            let mut seen = Vec::new();
+            for next in 1..=16u64 {
+                let (k, v) = pending.wait();
+                pending = spawn_task(produce(next));
+                seen.push((k, v));
+            }
+            let (k, v) = pending.wait();
+            seen.push((k, v));
+            let expect: Vec<(u64, u64)> = (0..=16).map(|k| (k, k * 10)).collect();
+            assert_eq!(seen, expect, "threads={threads}");
+        });
+    }
+}
+
+/// The overlap proof: a slow producer prefetched behind a slow consumer
+/// must cost roughly max(producer, consumer), not their sum.
+#[test]
+fn prefetch_overlaps_producer_and_consumer() {
+    let step = std::time::Duration::from_millis(25);
+    let rounds = 8;
+    let timed = |threads: usize| {
+        with_num_threads(threads, || {
+            let t0 = std::time::Instant::now();
+            let mut pending = spawn_task(move || std::thread::sleep(step));
+            for _ in 0..rounds {
+                std::thread::sleep(step); // "consume" the current item
+                pending.wait();
+                pending = spawn_task(move || std::thread::sleep(step));
+            }
+            pending.wait();
+            t0.elapsed()
+        })
+    };
+    let sequential = timed(1);
+    let overlapped = timed(4);
+    // Sequential: ~2 * rounds * step (+2 edge steps). Overlapped: ~rounds
+    // * step. Require a conservative 1.4x gap so loaded CI stays green.
+    assert!(
+        sequential.as_secs_f64() > 1.4 * overlapped.as_secs_f64(),
+        "prefetch failed to overlap: sequential {sequential:?} vs overlapped {overlapped:?}"
+    );
+}
+
+/// Tasks spawned from a worker are visible to sibling thieves: flood the
+/// pool from one drive leaf and make sure all results come back.
+#[test]
+fn many_tasks_from_one_worker_all_complete() {
+    let total: u64 = with_num_threads(4, || {
+        let v = [(); 1];
+        v.par_iter()
+            .map(|_| {
+                let tasks: Vec<_> = (0..64u64).map(|i| spawn_task(move || i + 1)).collect();
+                tasks.into_iter().map(|t| t.wait()).sum::<u64>()
+            })
+            .sum()
+    });
+    assert_eq!(total, (1..=64).sum::<u64>());
+}
