@@ -23,6 +23,7 @@ fn one_run(trace: &Workload, fel: FelKind) -> (u64, f64, usize, u32, u32) {
         .algorithm(Algorithm::Risa)
         .workload(WorkloadSpec::Trace(trace.clone()))
         .fel(fel)
+        .faults_off() // perf baseline: comparable across env toggles
         .build();
     let t0 = std::time::Instant::now();
     let report = sim.run();
@@ -67,6 +68,7 @@ fn main() {
                     .algorithm(Algorithm::Risa)
                     .workload(WorkloadSpec::Trace(small.clone()))
                     .fel(fel)
+                    .faults_off()
                     .build()
                     .run()
             })

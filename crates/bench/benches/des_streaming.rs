@@ -45,6 +45,7 @@ fn main() {
             .workload(WorkloadSpec::Synthetic(big_config(vms)))
             .arrivals(ArrivalMode::Streaming)
             .fel(fel)
+            .faults_off() // perf baseline: comparable across env toggles
             .build();
         let t0 = std::time::Instant::now();
         let report = sim.run();
@@ -82,6 +83,7 @@ fn main() {
                     .algorithm(Algorithm::Risa)
                     .workload(WorkloadSpec::Synthetic(small))
                     .arrivals(mode)
+                    .faults_off()
                     .build()
                     .run()
             })

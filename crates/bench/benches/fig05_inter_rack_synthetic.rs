@@ -16,6 +16,7 @@ fn bench(c: &mut Criterion) {
                 SimulationBuilder::new()
                     .algorithm(algo)
                     .workload(WorkloadSpec::synthetic_paper(42))
+                    .faults_off()
                     .build()
                     .run()
             });

@@ -15,6 +15,7 @@ fn bench(c: &mut Criterion) {
                 SimulationBuilder::new()
                     .algorithm(algo)
                     .workload(WorkloadSpec::azure(AzureSubset::N3000, 2023))
+                    .faults_off()
                     .build()
                     .run()
             });

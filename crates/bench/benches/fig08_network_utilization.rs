@@ -26,7 +26,7 @@ fn bench(c: &mut Criterion) {
                     LinkPolicy::FirstFit,
                 )
                 .unwrap();
-            net.release_vm(&a);
+            net.release_vm(&a).unwrap();
         })
     });
     c.bench_function("fig08_utilization_query", |b| {

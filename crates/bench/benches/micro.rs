@@ -31,7 +31,7 @@ fn bench_network(c: &mut Criterion) {
             let f = net
                 .alloc_flow(&cluster, BoxId(0), BoxId(2), 20_000, LinkPolicy::FirstFit)
                 .unwrap();
-            net.release_flow(&f);
+            net.release_flow(&f).unwrap();
         })
     });
     c.bench_function("micro_flow_alloc_release_inter", |b| {
@@ -45,7 +45,7 @@ fn bench_network(c: &mut Criterion) {
                     LinkPolicy::MostAvailable,
                 )
                 .unwrap();
-            net.release_flow(&f);
+            net.release_flow(&f).unwrap();
         })
     });
     let d = FlowDemands {

@@ -130,6 +130,7 @@ pub fn des_bench(vms: u32) -> DesBench {
                 .workload(WorkloadSpec::synthetic(vms, 42))
                 .arrivals(mode)
                 .fel(fel)
+                .faults_off() // comparable across commits and env toggles
                 .build();
             let t0 = Instant::now();
             sim.run();

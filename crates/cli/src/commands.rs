@@ -33,6 +33,7 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             scale,
             fel,
             arrivals,
+            faults,
             json,
             jobs,
         } => {
@@ -55,6 +56,9 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             }
             if let Some(mode) = arrivals {
                 builder = builder.arrivals(mode);
+            }
+            if faults {
+                builder = builder.faults(risa_sim::FaultSpec::canonical());
             }
             let report = builder.build().run();
             emit(&report, json)
@@ -181,6 +185,33 @@ fn emit(report: &RunReport, json: bool) -> Result<(), String> {
             report.work.ops_per_call()
         ),
     ]);
+    if let Some(f) = &report.faults {
+        t.row_display(&[
+            "rack failures / link flaps",
+            &format!(
+                "{} / {} trunk + {} xcvr",
+                f.rack_failures, f.trunk_link_downs, f.xcvr_downs
+            ),
+        ]);
+        t.row_display(&[
+            "evacuated (replaced/dropped/departed)",
+            &format!(
+                "{} ({}/{}/{})",
+                f.evacuated, f.evac_replaced, f.dropped_churn, f.evac_departed
+            ),
+        ]);
+        t.row_display(&[
+            "mean evac latency / recovery",
+            &format!("{:.1} / {:.1} s", f.mean_evac_latency, f.mean_recovery_time),
+        ]);
+        t.row_display(&[
+            "mean stranded units / bw",
+            &format!(
+                "{:.1} / {:.1} Mb/s",
+                f.mean_stranded_units, f.mean_stranded_mbps
+            ),
+        ]);
+    }
     println!("{t}");
     Ok(())
 }
@@ -357,6 +388,7 @@ mod tests {
             scale: 1,
             fel: None,
             arrivals: Some(risa_sim::ArrivalMode::Streaming),
+            faults: false,
             json: false,
             jobs: None,
         };
@@ -372,6 +404,7 @@ mod tests {
             scale: 1,
             fel: None,
             arrivals: None,
+            faults: false,
             json: true,
             jobs: None,
         };
@@ -439,6 +472,26 @@ mod tests {
             scale: 10,
             fel: Some(risa_sim::FelKind::Calendar),
             arrivals: None,
+            faults: false,
+            json: false,
+            jobs: None,
+        };
+        assert!(execute(cmd).is_ok());
+    }
+
+    /// `run --faults` injects the canonical scenario and the text report
+    /// grows the resilience rows (JSON mode grows the `faults` block —
+    /// covered by `risa-sim`'s serde tests).
+    #[test]
+    fn run_with_faults() {
+        let cmd = Command::Run {
+            algo: Algorithm::Risa,
+            workload: WorkloadArg::Synthetic { n: 400 },
+            seed: 3,
+            scale: 1,
+            fel: None,
+            arrivals: None,
+            faults: true,
             json: false,
             jobs: None,
         };

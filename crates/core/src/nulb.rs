@@ -83,7 +83,7 @@ impl SuperRack {
             let rack = RackId(r);
             for kind in ALL_RESOURCES {
                 let k = kind.index();
-                let fits = cluster.rack_max_available(rack, kind) >= demand.get(kind);
+                let fits = cluster.rack_admits(rack, kind, demand.get(kind));
                 if fits {
                     racks[k].push(rack);
                     member[k][r as usize] = true;
@@ -195,7 +195,10 @@ fn id_order_box_in_rack(
     work: &mut WorkCounters,
 ) -> Option<BoxId> {
     let boxes = cluster.boxes_in_rack(rack, kind);
-    match boxes.iter().position(|&b| cluster.available(b) >= units) {
+    match boxes
+        .iter()
+        .position(|&b| !cluster.is_failed(b) && cluster.available(b) >= units)
+    {
         Some(pos) => {
             work.boxes_scanned += pos as u64 + 1;
             Some(boxes[pos])
@@ -231,7 +234,7 @@ fn bw_order_box_in_rack(
     });
     scratch.boxes.iter().copied().find(|&b| {
         work.boxes_scanned += 1;
-        cluster.available(b) >= units
+        !cluster.is_failed(b) && cluster.available(b) >= units
     })
 }
 

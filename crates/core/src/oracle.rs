@@ -35,12 +35,19 @@ fn contention_ratios_naive(
         let req = demand.get(kind) as f64;
         let avail = match restrict {
             None => {
+                // Failed boxes are still visited (and charged) by the
+                // scan but contribute no availability, matching the
+                // production totals which retract them.
                 let mut n = 0u64;
                 let sum = cluster
                     .boxes_of_kind(kind)
                     .map(|b| {
                         n += 1;
-                        b.available as u64
+                        if cluster.is_failed(b.id) {
+                            0
+                        } else {
+                            b.available as u64
+                        }
                     })
                     .sum::<u64>() as f64;
                 work.boxes_scanned += n;
@@ -54,7 +61,13 @@ fn contention_ratios_naive(
                         cluster
                             .boxes_in_rack(r, kind)
                             .iter()
-                            .map(|&b| cluster.available(b) as u64)
+                            .map(|&b| {
+                                if cluster.is_failed(b) {
+                                    0
+                                } else {
+                                    cluster.available(b) as u64
+                                }
+                            })
                             .sum::<u64>()
                     })
                     .sum::<u64>() as f64
@@ -99,7 +112,9 @@ fn first_box_of_kind_naive(
         .boxes_of_kind(kind)
         .find(|b| {
             work.boxes_scanned += 1;
-            b.available >= units && restrict.is_none_or(|sr| sr.allows(b.rack, kind))
+            !cluster.is_failed(b.id)
+                && b.available >= units
+                && restrict.is_none_or(|sr| sr.allows(b.rack, kind))
         })
         .map(|b| b.id)
 }
@@ -128,7 +143,7 @@ fn bfs_find_naive(
         match order {
             NeighborOrder::ById => boxes.iter().copied().find(|&b| {
                 work.boxes_scanned += 1;
-                cluster.available(b) >= units
+                !cluster.is_failed(b) && cluster.available(b) >= units
             }),
             NeighborOrder::ByBandwidthDesc => {
                 work.sorts += 1;
@@ -141,7 +156,7 @@ fn bfs_find_naive(
                 });
                 sorted.into_iter().find(|&b| {
                     work.boxes_scanned += 1;
-                    cluster.available(b) >= units
+                    !cluster.is_failed(b) && cluster.available(b) >= units
                 })
             }
         }
@@ -279,7 +294,7 @@ impl RisaStateNaive {
             boxes
                 .iter()
                 .enumerate()
-                .filter(|(_, &b)| cluster.available(b) >= units)
+                .filter(|(_, &b)| !cluster.is_failed(b) && cluster.available(b) >= units)
                 .min_by_key(|(_, &b)| cluster.available(b))
                 .map(|(pos, &b)| (b, pos))
         } else {
@@ -288,7 +303,7 @@ impl RisaStateNaive {
                 .map(|i| (start + i) % boxes.len())
                 .find(|&pos| {
                     work.boxes_scanned += 1;
-                    cluster.available(boxes[pos]) >= units
+                    !cluster.is_failed(boxes[pos]) && cluster.available(boxes[pos]) >= units
                 })
                 .map(|pos| (boxes[pos], pos))
         }

@@ -74,7 +74,7 @@ impl RisaState {
                 .map(|i| (start + i) % boxes.len())
                 .find(|&pos| {
                     work.boxes_scanned += 1;
-                    cluster.available(boxes[pos]) >= units
+                    !cluster.is_failed(boxes[pos]) && cluster.available(boxes[pos]) >= units
                 })
                 .map(|pos| (boxes[pos], pos))
         }

@@ -111,7 +111,8 @@ impl Scheduler {
 
     /// Release an admitted VM's compute units and bandwidth (departure).
     pub fn release(cluster: &mut Cluster, net: &mut NetworkState, assignment: &VmAssignment) {
-        net.release_vm(&assignment.network);
+        net.release_vm(&assignment.network)
+            .expect("releasing held flows cannot over-release");
         cluster
             .give_placement(&assignment.placement)
             .expect("releasing a held placement cannot fail");

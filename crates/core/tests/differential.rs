@@ -2,7 +2,9 @@
 //! *identical* decisions the seed's naive scan-based implementations made
 //! — same box grants, same link choices, same drop reasons, and the same
 //! deterministic work counters (the Figure 11/12 cost model) — over
-//! randomized schedule/release histories, on the paper topology and on a
+//! randomized schedule/release/rack-churn histories (failures evacuate
+//! and re-place residents, exactly like the simulator's fault pipeline),
+//! on the paper topology and on a
 //! 10× cluster, **and** over replayed canonical v2 traces from
 //! `risa_workload::shard` (synthetic + Azure-7500), so the differential
 //! spec covers exactly the arrival/departure histories the simulator
@@ -12,15 +14,19 @@ use proptest::prelude::*;
 use risa_network::{NetworkConfig, NetworkState};
 use risa_sched::oracle::OracleScheduler;
 use risa_sched::{Algorithm, ScheduleOutcome, Scheduler, VmAssignment};
-use risa_topology::{Cluster, TopologyConfig, UnitDemand};
+use risa_topology::{Cluster, RackId, ResourceKind, TopologyConfig, UnitDemand, ALL_RESOURCES};
 use risa_workload::{AzureSubset, SyntheticConfig, Workload};
 
-/// One step of a history: schedule a fresh VM, or release the n-th oldest
-/// still-resident one.
+/// One step of a history: schedule a fresh VM, release the n-th oldest
+/// still-resident one, or churn a rack — fail it (evacuating and
+/// re-placing every resident VM that touched it, exactly as the
+/// simulator's fault pipeline does) or repair it.
 #[derive(Debug, Clone)]
 enum Step {
     Schedule(UnitDemand),
     Release(usize),
+    FailRack(u16),
+    RepairRack(u16),
 }
 
 fn step_strategy() -> impl Strategy<Value = Step> {
@@ -28,10 +34,39 @@ fn step_strategy() -> impl Strategy<Value = Step> {
         // Paper-realistic single-box demands (synthetic ≤ 8/8/2 units,
         // Azure RAM up to 14); occasional zero components stress edge
         // handling.
-        (0u32..=8, 0u32..=14, 0u32..=2)
+        4 => (0u32..=8, 0u32..=14, 0u32..=2)
             .prop_map(|(c, r, s)| Step::Schedule(UnitDemand::new(c, r, s))),
-        (0usize..32).prop_map(Step::Release),
+        2 => (0usize..32).prop_map(Step::Release),
+        // Rack churn keeps the failed-capacity paths in the differential:
+        // both sides must agree while boxes are dark and after restores.
+        1 => (0u16..512).prop_map(Step::FailRack),
+        1 => (0u16..512).prop_map(Step::RepairRack),
     ]
+}
+
+/// Fail or restore every box in `rack` on one cluster.
+fn flip_rack(cluster: &mut Cluster, rack: RackId, fail: bool) {
+    let boxes: Vec<_> = ALL_RESOURCES
+        .iter()
+        .flat_map(|&k| cluster.boxes_in_rack(rack, k))
+        .copied()
+        .collect();
+    for b in boxes {
+        if fail {
+            cluster.remove_box(b).expect("rack not already failed");
+        } else {
+            cluster.restore_box(b).expect("rack was failed");
+        }
+    }
+}
+
+/// Reconstruct the unit demand a placement was granted for.
+fn demand_of(a: &VmAssignment) -> UnitDemand {
+    UnitDemand::new(
+        a.placement.grant(ResourceKind::Cpu).units,
+        a.placement.grant(ResourceKind::Ram).units,
+        a.placement.grant(ResourceKind::Storage).units,
+    )
 }
 
 fn scaled(racks: u16) -> TopologyConfig {
@@ -56,6 +91,8 @@ fn run_differential(
     let mut net_o = NetworkState::new(NetworkConfig::paper(), &cluster_o);
     let mut oracle = OracleScheduler::new(algo, &cluster_o);
 
+    let racks = cfg.racks;
+    let mut down = vec![false; racks as usize];
     let mut held = Vec::new();
     for (i, step) in steps.iter().enumerate() {
         match step {
@@ -82,6 +119,57 @@ fn run_differential(
                 Scheduler::release(&mut cluster, &mut net, &a);
                 Scheduler::release(&mut cluster_o, &mut net_o, &a);
             }
+            Step::FailRack(r) => {
+                let rid = RackId(r % racks);
+                if down[rid.0 as usize] {
+                    continue;
+                }
+                // Evacuate exactly as the simulator does: release every
+                // resident touching the rack (in admission order), dark
+                // the boxes, then re-place each victim through the
+                // scheduler under test — both sides must keep agreeing.
+                let mut victims = Vec::new();
+                held.retain(|a| {
+                    if a.placement.racks(&cluster).contains(&rid) {
+                        victims.push(a.clone());
+                        false
+                    } else {
+                        true
+                    }
+                });
+                for a in &victims {
+                    Scheduler::release(&mut cluster, &mut net, a);
+                    Scheduler::release(&mut cluster_o, &mut net_o, a);
+                }
+                flip_rack(&mut cluster, rid, true);
+                flip_rack(&mut cluster_o, rid, true);
+                down[rid.0 as usize] = true;
+                for a in &victims {
+                    let demand = demand_of(a);
+                    let ours = sched.schedule(&mut cluster, &mut net, &demand);
+                    let theirs = oracle.schedule(&mut cluster_o, &mut net_o, &demand);
+                    prop_assert_eq!(
+                        &ours,
+                        &theirs,
+                        "step {} ({}, {:?}): evacuation re-placement diverged",
+                        i,
+                        algo,
+                        demand
+                    );
+                    if let ScheduleOutcome::Assigned(a) = ours {
+                        held.push(a);
+                    }
+                }
+            }
+            Step::RepairRack(r) => {
+                let rid = RackId(r % racks);
+                if !down[rid.0 as usize] {
+                    continue;
+                }
+                flip_rack(&mut cluster, rid, false);
+                flip_rack(&mut cluster_o, rid, false);
+                down[rid.0 as usize] = false;
+            }
         }
         prop_assert_eq!(
             sched.work(),
@@ -90,6 +178,14 @@ fn run_differential(
             i,
             algo
         );
+    }
+    // Restore any still-dark racks so the pristine-capacity invariants
+    // apply, then check both ledgers.
+    for r in 0..racks {
+        if down[r as usize] {
+            flip_rack(&mut cluster, RackId(r), false);
+            flip_rack(&mut cluster_o, RackId(r), false);
+        }
     }
     cluster.check_invariants().map_err(TestCaseError::fail)?;
     net.check_invariants().map_err(TestCaseError::fail)?;

@@ -61,15 +61,23 @@ impl VmNetAllocation {
     }
 }
 
-/// Why a flow could not be wired.
+/// Why a flow could not be wired, or a trunk mutation was refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum NetError {
-    /// No link in `trunk` had `needed_mbps` free.
+    /// No up link in `trunk` had `needed_mbps` free.
     InsufficientBandwidth {
         /// The saturated trunk.
         trunk: TrunkId,
         /// The demand that did not fit.
         needed_mbps: u64,
+    },
+    /// A per-link operation on `trunk` failed (over-release, double
+    /// fault, spurious repair, bad link index).
+    Trunk {
+        /// The trunk the operation targeted.
+        trunk: TrunkId,
+        /// The underlying per-link failure.
+        error: crate::trunk::TrunkError,
     },
 }
 
@@ -79,6 +87,7 @@ impl std::fmt::Display for NetError {
             NetError::InsufficientBandwidth { trunk, needed_mbps } => {
                 write!(f, "no link in {trunk:?} has {needed_mbps} Mb/s free")
             }
+            NetError::Trunk { trunk, error } => write!(f, "{trunk:?}: {error}"),
         }
     }
 }
@@ -159,17 +168,56 @@ impl NetworkState {
     }
 
     /// Release on one link of one trunk (companion to
-    /// [`NetworkState::trunk_take`]).
-    fn trunk_give(&mut self, id: TrunkId, link: usize, mbps: u64) {
+    /// [`NetworkState::trunk_take`]). Over-release propagates as a loud
+    /// typed error with the state untouched.
+    fn trunk_give(&mut self, id: TrunkId, link: usize, mbps: u64) -> Result<(), NetError> {
         match id {
-            TrunkId::BoxUplink(b) => self.box_trunks[b as usize].give(link, mbps),
+            TrunkId::BoxUplink(b) => self.box_trunks[b as usize]
+                .give(link, mbps)
+                .map_err(|error| NetError::Trunk { trunk: id, error }),
             TrunkId::RackUplink(r) => {
                 let trunk = &mut self.rack_trunks[r as usize];
                 let before = trunk.free_mbps();
-                trunk.give(link, mbps);
+                trunk
+                    .give(link, mbps)
+                    .map_err(|error| NetError::Trunk { trunk: id, error })?;
                 let after = trunk.free_mbps();
                 self.rack_bw.remove(&(before, Reverse(r)));
                 self.rack_bw.insert((after, Reverse(r)));
+                Ok(())
+            }
+        }
+    }
+
+    /// Take one link of one trunk down. New flows stop landing on the
+    /// link, its free bandwidth becomes stranded, and (for rack uplinks)
+    /// the NALB neighbour ordering re-ranks the rack immediately.
+    pub fn fail_link(&mut self, id: TrunkId, link: usize) -> Result<(), NetError> {
+        self.with_link_state(id, |t| t.fail_link(link))
+    }
+
+    /// Bring one link of one trunk back up, re-entering its preserved free
+    /// bandwidth into the schedulable aggregates and neighbour ordering.
+    pub fn restore_link(&mut self, id: TrunkId, link: usize) -> Result<(), NetError> {
+        self.with_link_state(id, |t| t.restore_link(link))
+    }
+
+    fn with_link_state(
+        &mut self,
+        id: TrunkId,
+        op: impl FnOnce(&mut Trunk) -> Result<(), crate::trunk::TrunkError>,
+    ) -> Result<(), NetError> {
+        match id {
+            TrunkId::BoxUplink(b) => op(&mut self.box_trunks[b as usize])
+                .map_err(|error| NetError::Trunk { trunk: id, error }),
+            TrunkId::RackUplink(r) => {
+                let trunk = &mut self.rack_trunks[r as usize];
+                let before = trunk.free_mbps();
+                op(trunk).map_err(|error| NetError::Trunk { trunk: id, error })?;
+                let after = trunk.free_mbps();
+                self.rack_bw.remove(&(before, Reverse(r)));
+                self.rack_bw.insert((after, Reverse(r)));
+                Ok(())
             }
         }
     }
@@ -247,7 +295,8 @@ impl NetworkState {
                 }
                 None => {
                     for h in &hops {
-                        self.trunk_give(h.trunk, h.link, h.mbps);
+                        self.trunk_give(h.trunk, h.link, h.mbps)
+                            .expect("rollback replays grants just taken");
                     }
                     return Err(NetError::InsufficientBandwidth {
                         trunk: tid,
@@ -263,11 +312,14 @@ impl NetworkState {
         })
     }
 
-    /// Return every hop of a flow.
-    pub fn release_flow(&mut self, path: &FlowPath) {
+    /// Return every hop of a flow. Fails loudly (typed, state mostly
+    /// untouched — hops before the bad one are already released) when a
+    /// hop replay would over-release its link.
+    pub fn release_flow(&mut self, path: &FlowPath) -> Result<(), NetError> {
         for h in &path.hops {
-            self.trunk_give(h.trunk, h.link, h.mbps);
+            self.trunk_give(h.trunk, h.link, h.mbps)?;
         }
+        Ok(())
     }
 
     /// Reserve both flows of a VM (CPU↔RAM then RAM↔storage), atomically.
@@ -284,16 +336,18 @@ impl NetworkState {
         match self.alloc_flow(cluster, ram_box, sto_box, demand.ram_sto_mbps, policy) {
             Ok(ram_sto) => Ok(VmNetAllocation { cpu_ram, ram_sto }),
             Err(e) => {
-                self.release_flow(&cpu_ram);
+                self.release_flow(&cpu_ram)
+                    .expect("rollback replays the flow just granted");
                 Err(e)
             }
         }
     }
 
-    /// Release both flows of a VM.
-    pub fn release_vm(&mut self, alloc: &VmNetAllocation) {
-        self.release_flow(&alloc.cpu_ram);
-        self.release_flow(&alloc.ram_sto);
+    /// Release both flows of a VM. Propagates the first over-release as a
+    /// loud typed error.
+    pub fn release_vm(&mut self, alloc: &VmNetAllocation) -> Result<(), NetError> {
+        self.release_flow(&alloc.cpu_ram)?;
+        self.release_flow(&alloc.ram_sto)
     }
 
     /// Cheap feasibility pre-check used by RISA's
@@ -353,6 +407,17 @@ impl NetworkState {
         self.rack_trunks.iter().map(Trunk::used_mbps).sum()
     }
 
+    /// Free bandwidth trapped behind down links across both layers —
+    /// the network contribution to the stranded-capacity resilience
+    /// metric.
+    pub fn stranded_mbps(&self) -> u64 {
+        self.box_trunks
+            .iter()
+            .chain(&self.rack_trunks)
+            .map(Trunk::stranded_mbps)
+            .sum()
+    }
+
     /// Intra-rack layer utilization in `[0, 1]` (Figure 8 left panel).
     pub fn intra_utilization(&self) -> f64 {
         self.intra_used_mbps() as f64 / self.intra_capacity_mbps() as f64
@@ -382,12 +447,14 @@ impl NetworkState {
             }
         }
         for (i, t) in self.box_trunks.iter().chain(&self.rack_trunks).enumerate() {
-            let total: u64 = (0..t.width()).map(|l| t.link_free_mbps(l)).sum();
-            let max = (0..t.width())
-                .map(|l| t.link_free_mbps(l))
-                .max()
-                .unwrap_or(0);
-            if t.free_mbps() != total || t.max_link_free_mbps() != max {
+            let up_links = || (0..t.width()).filter(|&l| t.link_up(l));
+            let total_up: u64 = up_links().map(|l| t.link_free_mbps(l)).sum();
+            let max_up = up_links().map(|l| t.link_free_mbps(l)).max().unwrap_or(0);
+            let total_all: u64 = (0..t.width()).map(|l| t.link_free_mbps(l)).sum();
+            if t.free_mbps() != total_up
+                || t.max_link_free_mbps() != max_up
+                || t.used_mbps() != t.capacity_mbps() - total_all
+            {
                 return Err(format!("trunk {i}: stale headroom cache"));
             }
         }
@@ -457,7 +524,7 @@ mod tests {
         assert_eq!(f.hops.len(), 2);
         assert_eq!(net.intra_used_mbps(), 10_000);
         assert_eq!(net.inter_used_mbps(), 0);
-        net.release_flow(&f);
+        net.release_flow(&f).unwrap();
         assert_eq!(net.intra_used_mbps(), 0);
     }
 
@@ -472,7 +539,7 @@ mod tests {
         assert_eq!(f.hops.len(), 4);
         assert_eq!(net.intra_used_mbps(), 10_000);
         assert_eq!(net.inter_used_mbps(), 10_000);
-        net.release_flow(&f);
+        net.release_flow(&f).unwrap();
         net.check_invariants().unwrap();
     }
 
@@ -533,7 +600,7 @@ mod tests {
             "failed flow must not leak bandwidth on box 0's trunk"
         );
         for f in &fills {
-            net.release_flow(f);
+            net.release_flow(f).unwrap();
         }
         assert_eq!(net.intra_used_mbps(), 0);
     }
@@ -552,7 +619,7 @@ mod tests {
         assert_eq!(a.total_mbps(), 22_000);
         // cpu-ram crosses 2 trunks, ram-sto crosses 2: 2*20k + 2*2k.
         assert_eq!(net.intra_used_mbps(), 44_000);
-        net.release_vm(&a);
+        net.release_vm(&a).unwrap();
         assert_eq!(net.intra_used_mbps(), 0);
     }
 
@@ -580,7 +647,7 @@ mod tests {
             "cpu-ram flow must be rolled back"
         );
         for f in &fills {
-            net.release_flow(f);
+            net.release_flow(f).unwrap();
         }
     }
 
@@ -609,7 +676,7 @@ mod tests {
         assert!(!net.rack_intra_feasible(&c, RackId(0), &d));
         assert!(net.rack_intra_feasible(&c, RackId(1), &d));
         for f in &fills {
-            net.release_flow(f);
+            net.release_flow(f).unwrap();
         }
         assert!(net.rack_intra_feasible(&c, RackId(0), &d));
     }
@@ -625,6 +692,112 @@ mod tests {
     }
 
     #[test]
+    fn link_faults_reorder_racks_and_strand_bandwidth() {
+        let (c, mut net) = setup();
+        net.check_invariants().unwrap();
+        // Downing rack 0's entire uplink pushes it to the back of NALB's
+        // neighbour order (all racks tie otherwise; ties go low-id first).
+        let width = net.trunk(TrunkId::RackUplink(0)).width();
+        for l in 0..width {
+            net.fail_link(TrunkId::RackUplink(0), l).unwrap();
+        }
+        net.check_invariants().unwrap();
+        let order: Vec<RackId> = net.racks_by_free_bw_desc().collect();
+        assert_eq!(order[0], RackId(1), "rack 0 no longer leads the order");
+        assert_eq!(*order.last().unwrap(), RackId(0));
+        assert_eq!(net.rack_uplink_free_mbps(RackId(0)), 0);
+        assert_eq!(
+            net.stranded_mbps(),
+            width as u64 * net.config().link_mbps,
+            "downed links' free bandwidth is stranded, not used"
+        );
+        // Inter-rack flows from rack 0 now fail on its uplink trunk.
+        let err = net
+            .alloc_flow(&c, BoxId(0), BoxId(8), 5_000, LinkPolicy::FirstFit)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            NetError::InsufficientBandwidth {
+                trunk: TrunkId::RackUplink(0),
+                ..
+            }
+        ));
+        for l in 0..width {
+            net.restore_link(TrunkId::RackUplink(0), l).unwrap();
+        }
+        net.check_invariants().unwrap();
+        assert_eq!(net.stranded_mbps(), 0);
+        assert_eq!(net.racks_by_free_bw_desc().next(), Some(RackId(0)));
+        // Double-fault and spurious repair surface as typed errors.
+        net.fail_link(TrunkId::BoxUplink(3), 2).unwrap();
+        assert!(matches!(
+            net.fail_link(TrunkId::BoxUplink(3), 2).unwrap_err(),
+            NetError::Trunk {
+                trunk: TrunkId::BoxUplink(3),
+                error: crate::trunk::TrunkError::LinkDown { link: 2 },
+            }
+        ));
+        net.restore_link(TrunkId::BoxUplink(3), 2).unwrap();
+        assert!(matches!(
+            net.restore_link(TrunkId::BoxUplink(3), 2).unwrap_err(),
+            NetError::Trunk {
+                trunk: TrunkId::BoxUplink(3),
+                error: crate::trunk::TrunkError::LinkNotDown { link: 2 },
+            }
+        ));
+    }
+
+    #[test]
+    fn flows_granted_before_a_fault_release_through_it() {
+        let (c, mut net) = setup();
+        let f = net
+            .alloc_flow(&c, BoxId(0), BoxId(2), 5_000, LinkPolicy::FirstFit)
+            .unwrap();
+        let hop = f.hops[0];
+        net.fail_link(hop.trunk, hop.link).unwrap();
+        net.release_flow(&f).unwrap();
+        net.check_invariants().unwrap();
+        assert_eq!(net.intra_used_mbps(), 0);
+        // The freed bandwidth sits stranded behind the down link.
+        assert_eq!(
+            net.stranded_mbps(),
+            net.config().link_mbps,
+            "released grant returns to the downed link's ledger"
+        );
+        net.restore_link(hop.trunk, hop.link).unwrap();
+        assert_eq!(net.stranded_mbps(), 0);
+    }
+
+    #[test]
+    fn over_release_propagates_as_typed_error() {
+        let (c, mut net) = setup();
+        let f = net
+            .alloc_flow(&c, BoxId(0), BoxId(2), 5_000, LinkPolicy::FirstFit)
+            .unwrap();
+        net.release_flow(&f).unwrap();
+        let err = net.release_flow(&f).unwrap_err();
+        assert!(matches!(
+            err,
+            NetError::Trunk {
+                error: crate::trunk::TrunkError::OverRelease { .. },
+                ..
+            }
+        ));
+        net.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn trunk_serde_preserves_link_state() {
+        let (c, mut net) = setup();
+        net.fail_link(TrunkId::BoxUplink(5), 1).unwrap();
+        let back = NetworkState::from_value(&net.to_value()).unwrap();
+        back.check_invariants().unwrap();
+        assert!(!back.trunk(TrunkId::BoxUplink(5)).link_up(1));
+        assert_eq!(back.stranded_mbps(), net.stranded_mbps());
+        let _ = c;
+    }
+
+    #[test]
     fn zero_demand_always_succeeds() {
         let (c, mut net) = setup();
         let f = net
@@ -632,6 +805,6 @@ mod tests {
             .unwrap();
         assert_eq!(f.hops.len(), 2);
         assert_eq!(net.intra_used_mbps(), 0);
-        net.release_flow(&f);
+        net.release_flow(&f).unwrap();
     }
 }

@@ -1,6 +1,7 @@
 //! Fluent construction of a ready-to-run DDC simulation.
 
 use crate::config::{LatencyConfig, SimConfig};
+use crate::faults::FaultSpec;
 use crate::report::RunReport;
 use crate::spec::WorkloadSpec;
 use crate::streaming::{ArrivalMode, StreamingArrivals};
@@ -10,8 +11,20 @@ use risa_network::NetworkConfig;
 use risa_photonics::PhotonicsConfig;
 use risa_sched::Algorithm;
 use risa_topology::{ResourceKind, TopologyConfig, ALL_RESOURCES};
-use risa_workload::StreamingShards;
+use risa_workload::{ShardSource, StreamingShards};
 use std::sync::Arc;
+
+/// Workload span seen by a streaming run: the sequential sum of per-shard
+/// interarrival totals — the same `f64` additions, in the same order, as
+/// the materialized prefix sum, so it is bit-identical to the last
+/// arrival time of the materialized trace.
+fn streamed_span(source: &dyn ShardSource) -> f64 {
+    let mut span = 0.0;
+    for shard in 0..source.num_shards() {
+        span += source.shard_arrivals(shard).1;
+    }
+    span
+}
 
 /// Builder for a [`DdcSimulation`]. Defaults reproduce the paper exactly:
 /// Table 1 topology, §3.1 network, §3.2 photonics, RISA, and a small
@@ -28,6 +41,7 @@ pub struct SimulationBuilder {
     sched_timing_batch: u32,
     legacy_arrival_path: bool,
     arrivals: Option<ArrivalMode>,
+    faults: Option<Option<FaultSpec>>,
 }
 
 impl SimulationBuilder {
@@ -44,7 +58,27 @@ impl SimulationBuilder {
             sched_timing_batch: DEFAULT_SCHED_TIMING_BATCH,
             legacy_arrival_path: false,
             arrivals: None,
+            faults: None,
         }
+    }
+
+    /// Attach a fault-injection scenario: rack failure/repair, trunk-link
+    /// and transceiver outages driven by deterministic per-component RNG
+    /// chains (see [`FaultSpec`] and the `crate::faults` module docs).
+    /// The run report gains a [`crate::FaultReport`] block.
+    ///
+    /// Default: the `RISA_FAULTS` environment variable
+    /// ([`FaultSpec::from_env`]), falling back to no faults.
+    pub fn faults(mut self, spec: FaultSpec) -> Self {
+        self.faults = Some(Some(spec));
+        self
+    }
+
+    /// Force faults off, ignoring the `RISA_FAULTS` environment variable
+    /// — for tests and experiments that assert exact faults-free outcomes.
+    pub fn faults_off(mut self) -> Self {
+        self.faults = Some(None);
+        self
     }
 
     /// Choose how arrivals reach the engine (default: the `RISA_ARRIVALS`
@@ -176,6 +210,10 @@ impl SimulationBuilder {
     /// order) falls back to pushing arrivals through the FEL, which does
     /// not require sortedness.
     pub fn build(self) -> DdcSimulation {
+        let fault_spec = match &self.faults {
+            Some(choice) => choice.clone(),
+            None => FaultSpec::from_env(),
+        };
         let mode = self.arrivals.unwrap_or_else(ArrivalMode::from_env);
         // The streaming pipeline needs a generator-backed spec (a
         // pre-built trace has nothing to stream from) and is pointless
@@ -198,8 +236,12 @@ impl SimulationBuilder {
             let cursor = StreamingShards::new(Arc::clone(&source));
             let mut world = DdcWorld::new_streaming(self.cfg, self.algorithm, cursor);
             self.prime(&mut world);
+            if let Some(spec) = fault_spec {
+                world.enable_faults(spec, streamed_span(&*source));
+            }
             let mut sim = Simulation::with_queue(world, queue);
             sim.attach_arrivals(Box::new(StreamingArrivals::new(source)));
+            Self::seed_faults(&mut sim);
             return DdcSimulation {
                 sim,
                 arrival_mode: ArrivalMode::Streaming,
@@ -231,8 +273,12 @@ impl SimulationBuilder {
             workload.name()
         );
         let arrivals = crate::world::arrival_events(&workload);
+        let span = workload.vms().last().map_or(0.0, |vm| vm.arrival);
         let mut world = DdcWorld::new(self.cfg, self.algorithm, workload);
         self.prime(&mut world);
+        if let Some(spec) = fault_spec {
+            world.enable_faults(spec, span);
+        }
         let mut sim = Simulation::with_queue(world, queue);
         if self.legacy_arrival_path || !sorted {
             for (at, event) in arrivals {
@@ -241,9 +287,23 @@ impl SimulationBuilder {
         } else {
             sim.preload_sorted(arrivals);
         }
+        Self::seed_faults(&mut sim);
         DdcSimulation {
             sim,
             arrival_mode: ArrivalMode::Materialized,
+        }
+    }
+
+    /// Push each fault chain's first onset through the FEL. Must run
+    /// *after* arrivals are preloaded/attached: both arrival pipelines
+    /// reserve the same sequence-number block for the trace, so seeding
+    /// afterwards gives every fault event the identical sequence number
+    /// (and therefore identical same-time ordering) on both paths.
+    fn seed_faults(sim: &mut Simulation<DdcWorld>) {
+        if sim.world().faults.is_some() {
+            for (at, event) in sim.world_mut().initial_fault_events() {
+                sim.schedule(at, event);
+            }
         }
     }
 
@@ -341,6 +401,7 @@ impl DdcSimulation {
             sched_seconds: w.sched_seconds(),
             work: *w.scheduler.work(),
             sim_duration: t_end,
+            faults: w.fault_report(),
         }
     }
 
@@ -411,6 +472,7 @@ mod tests {
         let report = SimulationBuilder::new()
             .algorithm(Algorithm::RisaBf)
             .workload(WorkloadSpec::synthetic(120, 5))
+            .faults_off() // exact faults-free numbers asserted below
             .build()
             .run();
         assert_eq!(report.total_vms, 120);

@@ -31,6 +31,7 @@
 mod builder;
 mod config;
 pub mod experiments;
+mod faults;
 mod report;
 mod spec;
 mod streaming;
@@ -39,6 +40,7 @@ mod world;
 
 pub use builder::{DdcSimulation, SimulationBuilder};
 pub use config::{LatencyConfig, SimConfig};
+pub use faults::{FaultReport, FaultSpec};
 pub use report::{host_info, peak_rss_bytes, ExperimentReport, RunReport};
 pub use spec::WorkloadSpec;
 pub use streaming::ArrivalMode;

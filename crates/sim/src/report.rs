@@ -1,11 +1,12 @@
 //! Run reports (one simulation) and experiment reports (one paper figure).
 
+use crate::faults::FaultReport;
 use risa_sched::{Algorithm, WorkCounters};
 use serde::{Deserialize, Serialize};
 
 /// Everything measured over one simulation run — the raw material for each
 /// paper figure.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Scheduling algorithm used.
     pub algorithm: Algorithm,
@@ -57,6 +58,96 @@ pub struct RunReport {
     pub work: WorkCounters,
     /// Simulated duration, paper time units (≡ seconds).
     pub sim_duration: f64,
+    /// Resilience metrics when the run carried a fault-injection scenario
+    /// ([`crate::SimulationBuilder::faults`]); `None` on faults-off runs.
+    ///
+    /// Serialization omits the field entirely when `None`, so faults-off
+    /// reports stay byte-identical to the pre-fault engine's output (and
+    /// old report JSON still deserializes).
+    pub faults: Option<FaultReport>,
+}
+
+// Hand-written (not derived) so a `None` faults block serializes to *no*
+// field rather than `null` — the byte-identity contract above.
+impl Serialize for RunReport {
+    fn to_value(&self) -> serde::Value {
+        let mut fields: Vec<(String, serde::Value)> = vec![
+            ("algorithm".into(), self.algorithm.to_value()),
+            ("workload".into(), self.workload.to_value()),
+            ("total_vms".into(), self.total_vms.to_value()),
+            ("admitted".into(), self.admitted.to_value()),
+            ("dropped".into(), self.dropped.to_value()),
+            ("dropped_compute".into(), self.dropped_compute.to_value()),
+            ("dropped_network".into(), self.dropped_network.to_value()),
+            (
+                "inter_rack_assignments".into(),
+                self.inter_rack_assignments.to_value(),
+            ),
+            (
+                "fallback_assignments".into(),
+                self.fallback_assignments.to_value(),
+            ),
+            ("cpu_utilization".into(), self.cpu_utilization.to_value()),
+            ("ram_utilization".into(), self.ram_utilization.to_value()),
+            (
+                "storage_utilization".into(),
+                self.storage_utilization.to_value(),
+            ),
+            (
+                "intra_net_utilization".into(),
+                self.intra_net_utilization.to_value(),
+            ),
+            (
+                "inter_net_utilization".into(),
+                self.inter_net_utilization.to_value(),
+            ),
+            ("optical_energy_j".into(), self.optical_energy_j.to_value()),
+            ("optical_power_w".into(), self.optical_power_w.to_value()),
+            (
+                "mean_cpu_ram_latency_ns".into(),
+                self.mean_cpu_ram_latency_ns.to_value(),
+            ),
+            ("sched_seconds".into(), self.sched_seconds.to_value()),
+            ("work".into(), self.work.to_value()),
+            ("sim_duration".into(), self.sim_duration.to_value()),
+        ];
+        if let Some(f) = &self.faults {
+            fields.push(("faults".into(), f.to_value()));
+        }
+        serde::Value::Map(fields)
+    }
+}
+
+impl Deserialize for RunReport {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        use serde::value::field;
+        Ok(RunReport {
+            algorithm: Algorithm::from_value(field(v, "algorithm")?)?,
+            workload: String::from_value(field(v, "workload")?)?,
+            total_vms: u32::from_value(field(v, "total_vms")?)?,
+            admitted: u32::from_value(field(v, "admitted")?)?,
+            dropped: u32::from_value(field(v, "dropped")?)?,
+            dropped_compute: u32::from_value(field(v, "dropped_compute")?)?,
+            dropped_network: u32::from_value(field(v, "dropped_network")?)?,
+            inter_rack_assignments: u32::from_value(field(v, "inter_rack_assignments")?)?,
+            fallback_assignments: u32::from_value(field(v, "fallback_assignments")?)?,
+            cpu_utilization: f64::from_value(field(v, "cpu_utilization")?)?,
+            ram_utilization: f64::from_value(field(v, "ram_utilization")?)?,
+            storage_utilization: f64::from_value(field(v, "storage_utilization")?)?,
+            intra_net_utilization: f64::from_value(field(v, "intra_net_utilization")?)?,
+            inter_net_utilization: f64::from_value(field(v, "inter_net_utilization")?)?,
+            optical_energy_j: f64::from_value(field(v, "optical_energy_j")?)?,
+            optical_power_w: f64::from_value(field(v, "optical_power_w")?)?,
+            mean_cpu_ram_latency_ns: f64::from_value(field(v, "mean_cpu_ram_latency_ns")?)?,
+            sched_seconds: f64::from_value(field(v, "sched_seconds")?)?,
+            work: WorkCounters::from_value(field(v, "work")?)?,
+            sim_duration: f64::from_value(field(v, "sim_duration")?)?,
+            faults: match v.get("faults") {
+                Some(fv) => Some(FaultReport::from_value(fv)?),
+                None => None,
+            },
+        })
+    }
 }
 
 impl RunReport {
@@ -169,6 +260,7 @@ mod tests {
             sched_seconds: 0.1,
             work: WorkCounters::new(),
             sim_duration: 1000.0,
+            faults: None,
         }
     }
 
@@ -232,5 +324,38 @@ mod tests {
         let json = serde_json::to_string(&r).unwrap();
         let back: RunReport = serde_json::from_str(&json).unwrap();
         assert_eq!(r, back);
+    }
+
+    /// A faults-off report serializes with no `faults` key at all (the
+    /// byte-identity contract with the pre-fault engine), while a
+    /// faults-on report appends the block and round-trips.
+    #[test]
+    fn faults_block_is_omitted_when_absent() {
+        let off = dummy(Algorithm::Risa, "w", 0);
+        let json = serde_json::to_string(&off).unwrap();
+        assert!(!json.contains("faults"));
+        assert_eq!(serde_json::from_str::<RunReport>(&json).unwrap(), off);
+
+        let mut on = off.clone();
+        on.faults = Some(FaultReport {
+            rack_failures: 2,
+            rack_repairs: 2,
+            trunk_link_downs: 1,
+            trunk_link_ups: 1,
+            xcvr_downs: 0,
+            xcvr_ups: 0,
+            evacuated: 5,
+            evac_replaced: 4,
+            dropped_churn: 1,
+            evac_departed: 0,
+            mean_evac_latency: 0.6,
+            mean_recovery_time: 21.0,
+            mean_stranded_units: 3.5,
+            mean_stranded_mbps: 2e5,
+        });
+        let json = serde_json::to_string(&on).unwrap();
+        assert!(json.contains("\"faults\""));
+        assert!(json.ends_with('}'), "faults is the last field");
+        assert_eq!(serde_json::from_str::<RunReport>(&json).unwrap(), on);
     }
 }

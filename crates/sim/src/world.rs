@@ -2,16 +2,19 @@
 //! driven by VM arrival/departure events.
 
 use crate::config::SimConfig;
+use crate::faults::{ChainSet, FaultMeters, FaultReport, FaultSpec, FaultTallies, Migration};
 use crate::timeline::{Timeline, TimelinePoint};
-use risa_des::{EventCtx, SimDuration, World};
+use risa_des::{EventCtx, SimDuration, SimTime, World};
 use risa_metrics::{OnlineStats, TimeWeighted};
-use risa_network::NetworkState;
+use risa_network::{NetworkState, TrunkId};
 use risa_photonics::{EnergyModel, SwitchPath};
 use risa_sched::audit::ScheduleAuditor;
 use risa_sched::{Algorithm, DropReason, ScheduleOutcome, Scheduler, VmAssignment};
-use risa_topology::{Cluster, ResourceKind, TopologyConfig, ALL_RESOURCES};
+use risa_topology::{
+    BoxId, Cluster, RackId, ResourceKind, TopologyConfig, UnitDemand, ALL_RESOURCES,
+};
 use risa_workload::{StreamingShards, VmRequest, Workload};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::time::{Duration, Instant};
 
 /// Default scheduler-timing batch: one clock pair per 16 scheduling calls
@@ -98,13 +101,51 @@ impl SchedTimer {
     }
 }
 
-/// Events driving the DDC simulation.
+/// Events driving the DDC simulation. The fault variants are injected
+/// only when a [`crate::FaultSpec`] is attached (see `crate::faults`);
+/// faults-off runs dispatch arrivals and departures exclusively.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SimEvent {
     /// VM `idx` (index into the workload) arrives and must be scheduled.
     Arrival(u32),
     /// VM `idx` departs; its resources and bandwidth are released.
     Departure(u32),
+    /// Rack `rack` fails: every box is retracted from the schedulers and
+    /// resident VMs are evacuated (a [`SimEvent::Migrate`] per victim).
+    RackFail(u16),
+    /// Rack `rack` is repaired: its boxes rejoin every aggregate.
+    RackRepair(u16),
+    /// Link `link` of rack `rack`'s uplink trunk goes dark.
+    TrunkDown {
+        /// The degraded rack uplink.
+        rack: u16,
+        /// Link index within the trunk.
+        link: u16,
+    },
+    /// Link `link` of rack `rack`'s uplink trunk is restored.
+    TrunkUp {
+        /// The restored rack uplink.
+        rack: u16,
+        /// Link index within the trunk.
+        link: u16,
+    },
+    /// Transceiver `link` of box `box_idx`'s uplink is lost.
+    XcvrDown {
+        /// The box whose uplink degraded.
+        box_idx: u32,
+        /// Link index within the trunk.
+        link: u16,
+    },
+    /// Transceiver `link` of box `box_idx`'s uplink is replaced.
+    XcvrUp {
+        /// The box whose uplink recovered.
+        box_idx: u32,
+        /// Link index within the trunk.
+        link: u16,
+    },
+    /// VM `idx`, evacuated from a failed rack, finishes its migration and
+    /// is re-placed through the scheduler (or dropped if nothing fits).
+    Migrate(u32),
 }
 
 /// The trace's arrival schedule as engine events — walked by index, no
@@ -261,6 +302,111 @@ pub(crate) struct Counters {
     pub fallback: u32,
 }
 
+/// Everything a running fault scenario needs: the renewal chains, the
+/// evacuation pipeline and the resilience accumulators. Lives on the
+/// world only when faults are enabled, so faults-off runs pay nothing.
+#[derive(Debug)]
+pub(crate) struct FaultState {
+    spec: FaultSpec,
+    /// Workload span the scale-free rates were resolved against; failure
+    /// onsets past it are not scheduled (repairs always are).
+    span: f64,
+    chains: ChainSet,
+    pub(crate) tallies: FaultTallies,
+    meters: FaultMeters,
+    /// Failure time of each currently-down rack.
+    rack_down_since: Vec<Option<f64>>,
+    /// Resident VMs with at least one grant in each rack. A `BTreeSet`
+    /// so evacuation visits victims in ascending VM index — part of the
+    /// determinism contract.
+    rack_residents: Vec<BTreeSet<u32>>,
+    /// Evacuated VMs still in transit to their re-placement.
+    pub(crate) in_transit: HashMap<u32, Migration>,
+    /// Evacuated VMs dropped at re-placement whose original departure
+    /// event is still in flight (swallowed when it fires).
+    tombstones: HashSet<u32>,
+    /// Total capacity units (all kinds) of the pristine cluster — the
+    /// baseline the stranded-capacity meter measures against.
+    pristine_units: u64,
+}
+
+impl FaultState {
+    fn new(
+        spec: FaultSpec,
+        span: f64,
+        cluster: &Cluster,
+        net_cfg: &risa_network::NetworkConfig,
+    ) -> Self {
+        let racks = cluster.num_racks();
+        let chains = ChainSet::new(
+            &spec,
+            span,
+            racks,
+            cluster.num_boxes() as u32,
+            net_cfg.rack_uplink_width,
+            net_cfg.box_uplink_width,
+        );
+        FaultState {
+            spec,
+            span,
+            chains,
+            tallies: FaultTallies::default(),
+            meters: FaultMeters::new(),
+            rack_down_since: vec![None; racks as usize],
+            rack_residents: vec![BTreeSet::new(); racks as usize],
+            in_transit: HashMap::new(),
+            tombstones: HashSet::new(),
+            pristine_units: ALL_RESOURCES
+                .iter()
+                .map(|&k| cluster.total_capacity(k))
+                .sum(),
+        }
+    }
+
+    /// Index `idx` under every rack its grants touch.
+    fn note_resident(&mut self, idx: u32, a: &VmAssignment, cluster: &Cluster) {
+        for g in &a.placement.grants {
+            self.rack_residents[cluster.rack_of(g.box_id).0 as usize].insert(idx);
+        }
+    }
+
+    /// Undo [`FaultState::note_resident`].
+    fn forget_resident(&mut self, idx: u32, a: &VmAssignment, cluster: &Cluster) {
+        for g in &a.placement.grants {
+            self.rack_residents[cluster.rack_of(g.box_id).0 as usize].remove(&idx);
+        }
+    }
+
+    /// Summarize into the report's resilience block. The evacuation
+    /// pipeline must balance: every displaced VM is re-placed, dropped,
+    /// departed in transit, or still travelling.
+    pub(crate) fn report(&self, t_end: f64) -> FaultReport {
+        let t = &self.tallies;
+        debug_assert_eq!(
+            t.evacuated,
+            t.evac_replaced + t.dropped_churn + t.evac_departed + self.in_transit.len() as u32,
+            "evacuation accounting identity"
+        );
+        let mean_to = |m: &TimeWeighted| if t_end > 0.0 { m.mean_to(t_end) } else { 0.0 };
+        FaultReport {
+            rack_failures: t.rack_failures,
+            rack_repairs: t.rack_repairs,
+            trunk_link_downs: t.trunk_link_downs,
+            trunk_link_ups: t.trunk_link_ups,
+            xcvr_downs: t.xcvr_downs,
+            xcvr_ups: t.xcvr_ups,
+            evacuated: t.evacuated,
+            evac_replaced: t.evac_replaced,
+            dropped_churn: t.dropped_churn,
+            evac_departed: t.evac_departed,
+            mean_evac_latency: self.meters.evac_latency.mean(),
+            mean_recovery_time: self.meters.recovery.mean(),
+            mean_stranded_units: mean_to(&self.meters.stranded_units),
+            mean_stranded_mbps: mean_to(&self.meters.stranded_mbps),
+        }
+    }
+}
+
 /// The [`World`] implementation: owns all mutable simulation state.
 #[derive(Debug)]
 pub struct DdcWorld {
@@ -295,6 +441,8 @@ pub struct DdcWorld {
     /// Optional independent auditor replaying every assignment against a
     /// shadow ledger; violations fail the run loudly.
     pub(crate) auditor: Option<(ScheduleAuditor, PerVmSlots<u64>)>,
+    /// Fault-injection scenario state; `None` on faults-off runs.
+    pub(crate) faults: Option<Box<FaultState>>,
 }
 
 impl DdcWorld {
@@ -358,7 +506,71 @@ impl DdcWorld {
             peak_resident: 0,
             timeline: None,
             auditor: None,
+            faults: None,
         }
+    }
+
+    /// Attach a fault scenario resolved against the workload `span` (the
+    /// last arrival time; see `crate::faults` for the determinism
+    /// argument). Call before running; the driver injects the initial
+    /// onsets via `DdcWorld::initial_fault_events`.
+    pub fn enable_faults(&mut self, spec: FaultSpec, span: f64) {
+        self.faults = Some(Box::new(FaultState::new(
+            spec,
+            span,
+            &self.cluster,
+            &self.cfg.network,
+        )));
+    }
+
+    /// Draw each component chain's first failure onset and return the
+    /// events to seed the queue with (onsets past the span are skipped —
+    /// the chain stays quiet for the whole run). Component order is
+    /// fixed — racks, trunk links, transceivers — so the event sequence
+    /// numbers are identical on every arrival pipeline.
+    pub(crate) fn initial_fault_events(&mut self) -> Vec<(SimTime, SimEvent)> {
+        let fs = self.faults.as_mut().expect("faults enabled");
+        let span = fs.span;
+        let mut out = Vec::new();
+        for (r, chain) in fs.chains.racks.iter_mut().enumerate() {
+            let onset = chain.uptime();
+            if onset < span {
+                out.push((SimTime::from_units(onset), SimEvent::RackFail(r as u16)));
+            }
+        }
+        let width = fs.chains.trunk_width as usize;
+        for (i, chain) in fs.chains.trunk_links.iter_mut().enumerate() {
+            let onset = chain.uptime();
+            if onset < span {
+                out.push((
+                    SimTime::from_units(onset),
+                    SimEvent::TrunkDown {
+                        rack: (i / width) as u16,
+                        link: (i % width) as u16,
+                    },
+                ));
+            }
+        }
+        let width = fs.chains.xcvr_width as usize;
+        for (i, chain) in fs.chains.xcvr_links.iter_mut().enumerate() {
+            let onset = chain.uptime();
+            if onset < span {
+                out.push((
+                    SimTime::from_units(onset),
+                    SimEvent::XcvrDown {
+                        box_idx: (i / width) as u32,
+                        link: (i % width) as u16,
+                    },
+                ));
+            }
+        }
+        out
+    }
+
+    /// The resilience metrics of the attached fault scenario, if any
+    /// (normally read through [`crate::RunReport::faults`]).
+    pub fn fault_report(&self) -> Option<FaultReport> {
+        self.faults.as_ref().map(|fs| fs.report(self.end_time))
     }
 
     /// Enable independent auditing of every assignment/release (shadow
@@ -475,6 +687,21 @@ impl DdcWorld {
         }
         self.intra_bw.set(t, self.net.intra_used_mbps() as f64);
         self.inter_bw.set(t, self.net.inter_used_mbps() as f64);
+        if let Some(fs) = self.faults.as_mut() {
+            // Stranded capacity: retracted compute inside failed racks
+            // plus free bandwidth behind dark links. Both change only at
+            // event times, so per-event sampling is exact.
+            let live: u64 = ALL_RESOURCES
+                .iter()
+                .map(|&k| self.cluster.total_capacity(k))
+                .sum();
+            fs.meters
+                .stranded_units
+                .set(t, (fs.pristine_units - live) as f64);
+            fs.meters
+                .stranded_mbps
+                .set(t, self.net.stranded_mbps() as f64);
+        }
         if let Some(tl) = self.timeline.as_mut() {
             let used = |k: ResourceKind| {
                 (self.cluster.total_capacity(k) - self.cluster.total_available(k)) as f64
@@ -549,6 +776,9 @@ impl DdcWorld {
                 if let Some((auditor, seqs)) = self.auditor.as_mut() {
                     seqs.insert(idx, auditor.admit(&self.cluster, &a));
                 }
+                if let Some(fs) = self.faults.as_mut() {
+                    fs.note_resident(idx, &a, &self.cluster);
+                }
                 self.assignments.insert(idx, a);
                 self.resident += 1;
                 self.peak_resident = self.peak_resident.max(self.resident);
@@ -568,16 +798,246 @@ impl DdcWorld {
     }
 
     fn on_departure(&mut self, idx: u32, now: f64) {
-        let a = self
-            .assignments
-            .take(idx)
-            .expect("departure of a VM that was never admitted");
+        let Some(a) = self.assignments.take(idx) else {
+            // Only reachable under fault injection: the VM was displaced
+            // by a rack failure after admission and holds no resources —
+            // it was either dropped at re-placement (tombstoned) or is
+            // still in transit (its migration is hereby cancelled).
+            let fs = self
+                .faults
+                .as_mut()
+                .expect("departure of a VM that was never admitted");
+            if !fs.tombstones.remove(&idx) {
+                fs.in_transit
+                    .remove(&idx)
+                    .expect("departure of a VM that was never admitted");
+                fs.tallies.evac_departed += 1;
+            }
+            return;
+        };
         Scheduler::release(&mut self.cluster, &mut self.net, &a);
         if let Some((auditor, seqs)) = self.auditor.as_mut() {
             let seq = seqs.take(idx).expect("audited VM has a seq");
             auditor.release(seq);
         }
+        if let Some(fs) = self.faults.as_mut() {
+            fs.forget_resident(idx, &a, &self.cluster);
+        }
         self.resident -= 1;
+        self.sample_state(now);
+    }
+
+    /// A rack fails: evacuate its residents (release now, re-place after
+    /// a per-VM migration delay), retract every box, schedule the repair.
+    fn on_rack_fail(&mut self, rack: u16, now: f64, ctx: &mut EventCtx<'_, SimEvent>) {
+        let rid = RackId(rack);
+        // Victims in ascending VM index: every resident VM with at least
+        // one grant in this rack (grants on other racks evacuate too —
+        // a VM is placed and released as a whole).
+        let victims: Vec<u32> = self
+            .faults
+            .as_ref()
+            .expect("fault event without a scenario")
+            .rack_residents[rack as usize]
+            .iter()
+            .copied()
+            .collect();
+        for idx in victims {
+            let a = self
+                .assignments
+                .take(idx)
+                .expect("evacuating a VM that is not resident");
+            Scheduler::release(&mut self.cluster, &mut self.net, &a);
+            if let Some((auditor, seqs)) = self.auditor.as_mut() {
+                let seq = seqs.take(idx).expect("audited VM has a seq");
+                auditor.release(seq);
+            }
+            self.resident -= 1;
+            let fs = self
+                .faults
+                .as_mut()
+                .expect("fault event without a scenario");
+            fs.forget_resident(idx, &a, &self.cluster);
+            let demand = UnitDemand::new(
+                a.placement.grant(ResourceKind::Cpu).units,
+                a.placement.grant(ResourceKind::Ram).units,
+                a.placement.grant(ResourceKind::Storage).units,
+            );
+            let units: u32 = ALL_RESOURCES.iter().map(|&k| demand.get(k)).sum();
+            let delay = fs.spec.migration_delay_per_unit * f64::from(units);
+            fs.tallies.evacuated += 1;
+            fs.in_transit.insert(
+                idx,
+                Migration {
+                    demand,
+                    evacuated_at: now,
+                },
+            );
+            ctx.schedule_in(SimDuration::from_units(delay), SimEvent::Migrate(idx));
+        }
+        // With every grant released, each box's availability freezes at
+        // full capacity — restore returns the rack pristine.
+        let boxes: Vec<BoxId> = ALL_RESOURCES
+            .iter()
+            .flat_map(|&k| self.cluster.boxes_in_rack(rid, k))
+            .copied()
+            .collect();
+        for b in boxes {
+            self.cluster
+                .remove_box(b)
+                .expect("rack chains alternate fail/repair");
+        }
+        let fs = self
+            .faults
+            .as_mut()
+            .expect("fault event without a scenario");
+        fs.tallies.rack_failures += 1;
+        fs.rack_down_since[rack as usize] = Some(now);
+        let down = fs.chains.racks[rack as usize].downtime();
+        ctx.schedule_in(SimDuration::from_units(down), SimEvent::RackRepair(rack));
+        self.sample_state(now);
+    }
+
+    /// A rack is repaired: its boxes rejoin every scheduler aggregate and
+    /// the next failure onset is drawn (scheduled only within the span).
+    fn on_rack_repair(&mut self, rack: u16, now: f64, ctx: &mut EventCtx<'_, SimEvent>) {
+        let rid = RackId(rack);
+        let boxes: Vec<BoxId> = ALL_RESOURCES
+            .iter()
+            .flat_map(|&k| self.cluster.boxes_in_rack(rid, k))
+            .copied()
+            .collect();
+        for b in boxes {
+            self.cluster
+                .restore_box(b)
+                .expect("repair of a rack that is down");
+        }
+        let fs = self
+            .faults
+            .as_mut()
+            .expect("fault event without a scenario");
+        fs.tallies.rack_repairs += 1;
+        let since = fs.rack_down_since[rack as usize]
+            .take()
+            .expect("repair of a rack that is down");
+        fs.meters.recovery.record(now - since);
+        let up = fs.chains.racks[rack as usize].uptime();
+        if now + up < fs.span {
+            ctx.schedule_in(SimDuration::from_units(up), SimEvent::RackFail(rack));
+        }
+        self.sample_state(now);
+    }
+
+    /// One link of a trunk goes dark; its repair is always scheduled.
+    fn on_link_down(&mut self, id: TrunkId, link: u16, now: f64, ctx: &mut EventCtx<'_, SimEvent>) {
+        self.net
+            .fail_link(id, link as usize)
+            .expect("link chains alternate down/up");
+        let fs = self
+            .faults
+            .as_mut()
+            .expect("fault event without a scenario");
+        let (chain, up_event) = match id {
+            TrunkId::RackUplink(rack) => {
+                fs.tallies.trunk_link_downs += 1;
+                (
+                    fs.chains.trunk_chain(rack, link),
+                    SimEvent::TrunkUp { rack, link },
+                )
+            }
+            TrunkId::BoxUplink(box_idx) => {
+                fs.tallies.xcvr_downs += 1;
+                (
+                    fs.chains.xcvr_chain(box_idx, link),
+                    SimEvent::XcvrUp { box_idx, link },
+                )
+            }
+        };
+        let down = chain.downtime();
+        ctx.schedule_in(SimDuration::from_units(down), up_event);
+        self.sample_state(now);
+    }
+
+    /// A dark link is restored; the next outage is drawn and scheduled
+    /// only if its onset lands within the span.
+    fn on_link_up(&mut self, id: TrunkId, link: u16, now: f64, ctx: &mut EventCtx<'_, SimEvent>) {
+        self.net
+            .restore_link(id, link as usize)
+            .expect("link chains alternate down/up");
+        let fs = self
+            .faults
+            .as_mut()
+            .expect("fault event without a scenario");
+        let (chain, down_event) = match id {
+            TrunkId::RackUplink(rack) => {
+                fs.tallies.trunk_link_ups += 1;
+                (
+                    fs.chains.trunk_chain(rack, link),
+                    SimEvent::TrunkDown { rack, link },
+                )
+            }
+            TrunkId::BoxUplink(box_idx) => {
+                fs.tallies.xcvr_ups += 1;
+                (
+                    fs.chains.xcvr_chain(box_idx, link),
+                    SimEvent::XcvrDown { box_idx, link },
+                )
+            }
+        };
+        let up = chain.uptime();
+        if now + up < fs.span {
+            ctx.schedule_in(SimDuration::from_units(up), down_event);
+        }
+        self.sample_state(now);
+    }
+
+    /// An evacuated VM completes its migration: re-place it through the
+    /// active scheduler (the search is charged to the work counters like
+    /// any arrival) or drop it if nothing fits. A no-op if the VM's
+    /// lifetime already ended in transit.
+    fn on_migrate(&mut self, idx: u32, now: f64) {
+        let Some(m) = self
+            .faults
+            .as_mut()
+            .expect("fault event without a scenario")
+            .in_transit
+            .remove(&idx)
+        else {
+            return; // departed while in transit — already accounted
+        };
+        let timing = self.sched.start();
+        let outcome = self
+            .scheduler
+            .schedule(&mut self.cluster, &mut self.net, &m.demand);
+        self.sched.finish(timing);
+        match outcome {
+            ScheduleOutcome::Assigned(a) => {
+                if let Some((auditor, seqs)) = self.auditor.as_mut() {
+                    seqs.insert(idx, auditor.admit(&self.cluster, &a));
+                }
+                let fs = self
+                    .faults
+                    .as_mut()
+                    .expect("fault event without a scenario");
+                fs.tallies.evac_replaced += 1;
+                fs.meters.evac_latency.record(now - m.evacuated_at);
+                fs.note_resident(idx, &a, &self.cluster);
+                self.assignments.insert(idx, a);
+                self.resident += 1;
+                self.peak_resident = self.peak_resident.max(self.resident);
+                // The original departure event is still pending and will
+                // release this re-placement; energy/latency stay the
+                // admission-time estimates.
+            }
+            ScheduleOutcome::Dropped(_) => {
+                let fs = self
+                    .faults
+                    .as_mut()
+                    .expect("fault event without a scenario");
+                fs.tallies.dropped_churn += 1;
+                fs.tombstones.insert(idx);
+            }
+        }
         self.sample_state(now);
     }
 }
@@ -591,6 +1051,21 @@ impl World for DdcWorld {
         match event {
             SimEvent::Arrival(idx) => self.on_arrival(idx, now, ctx),
             SimEvent::Departure(idx) => self.on_departure(idx, now),
+            SimEvent::RackFail(rack) => self.on_rack_fail(rack, now, ctx),
+            SimEvent::RackRepair(rack) => self.on_rack_repair(rack, now, ctx),
+            SimEvent::TrunkDown { rack, link } => {
+                self.on_link_down(TrunkId::RackUplink(rack), link, now, ctx)
+            }
+            SimEvent::TrunkUp { rack, link } => {
+                self.on_link_up(TrunkId::RackUplink(rack), link, now, ctx)
+            }
+            SimEvent::XcvrDown { box_idx, link } => {
+                self.on_link_down(TrunkId::BoxUplink(box_idx), link, now, ctx)
+            }
+            SimEvent::XcvrUp { box_idx, link } => {
+                self.on_link_up(TrunkId::BoxUplink(box_idx), link, now, ctx)
+            }
+            SimEvent::Migrate(idx) => self.on_migrate(idx, now),
         }
     }
 }

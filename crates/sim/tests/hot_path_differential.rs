@@ -17,11 +17,19 @@
 //! also be byte-identical — same reports, same dispatch order, both FEL
 //! backends, 1 and 8 threads.
 //!
-//! CI runs this file under `RISA_FEL=heap` / `RISA_FEL=calendar` and
-//! `RISA_ARRIVALS=streaming` so neither env toggle can rot.
+//! PR 7 added the fault-injection lane: the canonical **churn** scenario
+//! (rack failures with evacuation, trunk/transceiver flaps) must be
+//! byte-identical across FEL backends, arrival pipelines, and pool sizes
+//! too. The faults-free legs pin `.faults_off()` so the `RISA_FAULTS=1`
+//! CI leg cannot change what they measure.
+//!
+//! CI runs this file under `RISA_FEL=heap` / `RISA_FEL=calendar`,
+//! `RISA_ARRIVALS=streaming` and `RISA_FAULTS=1` so no env toggle can rot.
 
 use rayon::with_num_threads;
-use risa_sim::{Algorithm, ArrivalMode, FelKind, RunReport, SimulationBuilder, WorkloadSpec};
+use risa_sim::{
+    Algorithm, ArrivalMode, FaultSpec, FelKind, RunReport, SimulationBuilder, WorkloadSpec,
+};
 use risa_workload::{AzureSubset, SyntheticConfig};
 
 /// The two canonical traces: a synthetic run that saturates the paper
@@ -55,6 +63,7 @@ fn run_mode(
         .workload(spec.clone())
         .fel(fel)
         .arrivals(arrivals)
+        .faults_off()
         .legacy_arrival_path(legacy);
     if legacy {
         // The pre-PR5 engine also timed every scheduling call.
@@ -116,6 +125,7 @@ fn peak_fel_is_resident_bounded_on_10k_run() {
             .algorithm(Algorithm::Risa)
             .workload(WorkloadSpec::Synthetic(SyntheticConfig::small(10_000, 7)))
             .fel(fel)
+            .faults_off()
             .build();
         sim.run();
         let peak_fel = sim.peak_fel_len();
@@ -140,6 +150,7 @@ fn legacy_path_peaks_at_trace_length() {
     let mut sim = SimulationBuilder::new()
         .workload(WorkloadSpec::Synthetic(SyntheticConfig::small(n, 7)))
         .legacy_arrival_path(true)
+        .faults_off()
         .build();
     sim.run();
     assert!(sim.peak_fel_len() >= n as usize);
@@ -191,6 +202,49 @@ fn streaming_reports_identical_at_1_and_8_jobs() {
             let one = with_num_threads(1, go);
             let eight = with_num_threads(8, go);
             assert_eq!(one, eight, "{name}/{fel}: --jobs changed the streaming run");
+        }
+    }
+}
+
+/// PR 7 tentpole acceptance: the canonical churn scenario — rack
+/// failures evacuating residents through the live scheduler, trunk and
+/// transceiver flaps retracting bandwidth — is byte-identical (report
+/// JSON **and** event dispatch order) across both FEL backends, both
+/// arrival pipelines, and 1 vs 8 pool threads, on both canonical traces.
+/// Fault onsets ride the same two-lane FEL as everything else, so this
+/// is the end-to-end proof that churn never breaks run reproducibility.
+#[test]
+fn churn_scenario_is_byte_identical_across_modes_and_jobs() {
+    for (name, spec) in canonical_specs() {
+        let go = |fel: FelKind, arrivals: ArrivalMode| {
+            let mut sim = SimulationBuilder::new()
+                .algorithm(Algorithm::Risa)
+                .workload(spec.clone())
+                .faults(FaultSpec::canonical())
+                .fel(fel)
+                .arrivals(arrivals)
+                .build();
+            sim.enable_trace(40_000);
+            let mut report: RunReport = sim.run();
+            report.sched_seconds = 0.0;
+            let json = serde_json::to_string(&report).expect("report serializes");
+            (json, sim.trace().expect("trace enabled").dump())
+        };
+        let base = with_num_threads(1, || go(FelKind::Heap, ArrivalMode::Materialized));
+        assert!(
+            base.0.contains("\"faults\""),
+            "{name}: churn run must report resilience metrics"
+        );
+        for fel in FelKind::ALL {
+            for arrivals in [ArrivalMode::Materialized, ArrivalMode::Streaming] {
+                for jobs in [1usize, 8] {
+                    let got = with_num_threads(jobs, || go(fel, arrivals));
+                    assert_eq!(
+                        base, got,
+                        "{name}/{fel}/{arrivals:?}/jobs={jobs}: churn run diverged"
+                    );
+                }
+            }
         }
     }
 }

@@ -21,6 +21,7 @@ fn peak_buffered_arrivals_is_two_shards_on_100k_run() {
         .algorithm(Algorithm::Risa)
         .workload(WorkloadSpec::Synthetic(cfg))
         .arrivals(ArrivalMode::Streaming)
+        .faults_off() // churn events would share the FEL bound asserted below
         .build();
     let report = sim.run();
     assert_eq!(report.total_vms, n);

@@ -30,6 +30,12 @@ pub enum AllocError {
     },
     /// The box id is out of range for this cluster.
     NoSuchBox,
+    /// The box is marked failed (offline): it can neither grant nor accept
+    /// units until [`Cluster::restore_box`] brings it back.
+    BoxFailed,
+    /// [`Cluster::restore_box`] was asked to repair a box that is not
+    /// failed — always a caller bug.
+    BoxNotFailed,
 }
 
 impl std::fmt::Display for AllocError {
@@ -48,6 +54,8 @@ impl std::fmt::Display for AllocError {
                 "release of {returned}u would exceed capacity ({available}u free of {capacity}u)"
             ),
             AllocError::NoSuchBox => write!(f, "no such box"),
+            AllocError::BoxFailed => write!(f, "box is failed (offline)"),
+            AllocError::BoxNotFailed => write!(f, "box is not failed"),
         }
     }
 }
@@ -132,7 +140,13 @@ pub struct Cluster {
     rack_boxes: Vec<[Vec<BoxId>; 3]>,
     /// Incremental aggregates: per-rack maxima/totals, sorted availability
     /// sets, and the rack segment tree (derived state, rebuilt on load).
+    /// Failed boxes carry no index entries.
     index: PlacementIndex,
+    /// Per box: true while the box is failed (offline). Failed boxes stay
+    /// in the box table and rack lists — scans still *visit* them, so the
+    /// seed's cost model is unchanged — but they are retracted from every
+    /// aggregate and can never grant or accept units.
+    failed: Vec<bool>,
     totals_avail: [u64; 3],
     totals_cap: [u64; 3],
 }
@@ -160,31 +174,40 @@ impl Cluster {
                 }
             }
         }
-        Cluster::from_parts(cfg, boxes)
+        let n = boxes.len();
+        Cluster::from_parts(cfg, boxes, vec![false; n])
     }
 
     /// Assemble a cluster around an explicit box table, rebuilding every
     /// derived structure (per-rack id lists, totals, the placement index).
-    /// Shared by [`Cluster::new`] and deserialization.
-    fn from_parts(cfg: TopologyConfig, boxes: Vec<BoxState>) -> Self {
+    /// Failed boxes contribute to none of the aggregates. Shared by
+    /// [`Cluster::new`] and deserialization.
+    fn from_parts(cfg: TopologyConfig, boxes: Vec<BoxState>, failed: Vec<bool>) -> Self {
+        debug_assert_eq!(boxes.len(), failed.len());
         let mut rack_boxes: Vec<[Vec<BoxId>; 3]> =
             (0..cfg.racks).map(|_| Default::default()).collect();
         let mut totals_avail = [0u64; 3];
         let mut totals_cap = [0u64; 3];
         for b in &boxes {
             rack_boxes[b.rack.0 as usize][b.kind.index()].push(b.id);
-            totals_avail[b.kind.index()] += b.available as u64;
-            totals_cap[b.kind.index()] += b.capacity as u64;
+            if !failed[b.id.0 as usize] {
+                totals_avail[b.kind.index()] += b.available as u64;
+                totals_cap[b.kind.index()] += b.capacity as u64;
+            }
         }
         let index = PlacementIndex::build(
             cfg.racks,
-            boxes.iter().map(|b| (b.rack, b.kind, b.id, b.available)),
+            boxes
+                .iter()
+                .filter(|b| !failed[b.id.0 as usize])
+                .map(|b| (b.rack, b.kind, b.id, b.available)),
         );
         Cluster {
             cfg,
             boxes,
             rack_boxes,
             index,
+            failed,
             totals_avail,
             totals_cap,
         }
@@ -222,10 +245,18 @@ impl Cluster {
         self.boxes[id.0 as usize].kind
     }
 
-    /// Free units in a box.
+    /// Free units in a box. For a failed box this is the availability
+    /// frozen at failure time; failed boxes are never eligible for grants
+    /// (check [`Cluster::is_failed`] in any scan that reads this).
     #[inline]
     pub fn available(&self, id: BoxId) -> u32 {
         self.boxes[id.0 as usize].available
+    }
+
+    /// True while `id` is failed (offline). See [`Cluster::remove_box`].
+    #[inline]
+    pub fn is_failed(&self, id: BoxId) -> bool {
+        self.failed[id.0 as usize]
     }
 
     /// All boxes in global id order.
@@ -284,7 +315,7 @@ impl Cluster {
         self.boxes_in_rack(rack, kind)
             .iter()
             .copied()
-            .find(|&b| self.available(b) >= units)
+            .find(|&b| !self.is_failed(b) && self.available(b) >= units)
     }
 
     /// The fullest box of `kind` in `rack` that still fits `units`
@@ -306,11 +337,21 @@ impl Cluster {
         b.rack.0 as u64 * per_rack + offset
     }
 
-    /// True when every per-kind demand fits in *some single box* of `rack`.
+    /// Whether `rack` holds a live box of `kind` with at least `units`
+    /// free. Unlike comparing against [`Cluster::rack_max_available`],
+    /// this stays correct for zero-unit demands after every box of `kind`
+    /// in the rack has failed. O(1).
+    #[inline]
+    pub fn rack_admits(&self, rack: RackId, kind: ResourceKind, units: u32) -> bool {
+        self.index.rack_admits(rack, kind, units)
+    }
+
+    /// True when every per-kind demand fits in *some single live box* of
+    /// `rack`.
     pub fn rack_fits(&self, rack: RackId, demand: &UnitDemand) -> bool {
         ALL_RESOURCES
             .iter()
-            .all(|&k| demand.get(k) <= self.rack_max_available(rack, k))
+            .all(|&k| self.rack_admits(rack, k, demand.get(k)))
     }
 
     /// Cluster-wide free units of `kind`.
@@ -340,6 +381,9 @@ impl Cluster {
             .boxes
             .get_mut(box_id.0 as usize)
             .ok_or(AllocError::NoSuchBox)?;
+        if self.failed[box_id.0 as usize] {
+            return Err(AllocError::BoxFailed);
+        }
         if units > b.available {
             return Err(AllocError::Insufficient {
                 requested: units,
@@ -360,6 +404,9 @@ impl Cluster {
             .boxes
             .get_mut(box_id.0 as usize)
             .ok_or(AllocError::NoSuchBox)?;
+        if self.failed[box_id.0 as usize] {
+            return Err(AllocError::BoxFailed);
+        }
         if b.available + units > b.capacity {
             return Err(AllocError::OverRelease {
                 returned: units,
@@ -399,9 +446,63 @@ impl Cluster {
         Ok(())
     }
 
+    /// Mark `box_id` failed, incrementally retracting it from every
+    /// aggregate the schedulers consult: its availability leaves the
+    /// per-rack sorted sets, totals, maxima, and the rack segment tree,
+    /// and its capacity leaves the cluster-wide capacity totals (the
+    /// retracted capacity is what the resilience metrics call *stranded*).
+    ///
+    /// The box stays in the box table and rack lists with its availability
+    /// frozen — naive scans still visit it (the seed's cost model is
+    /// unchanged) but must skip it via [`Cluster::is_failed`]. `take` and
+    /// `give` on a failed box return [`AllocError::BoxFailed`]; callers
+    /// are expected to evacuate (release) any placements touching the box
+    /// *before* failing it.
+    ///
+    /// Errors with [`AllocError::BoxFailed`] if the box is already failed.
+    pub fn remove_box(&mut self, box_id: BoxId) -> Result<(), AllocError> {
+        let b = *self
+            .boxes
+            .get(box_id.0 as usize)
+            .ok_or(AllocError::NoSuchBox)?;
+        if self.failed[box_id.0 as usize] {
+            return Err(AllocError::BoxFailed);
+        }
+        self.failed[box_id.0 as usize] = true;
+        self.totals_avail[b.kind.index()] -= b.available as u64;
+        self.totals_cap[b.kind.index()] -= b.capacity as u64;
+        self.index.remove(b.rack, b.kind, b.id, b.available);
+        Ok(())
+    }
+
+    /// Repair a box failed by [`Cluster::remove_box`]: its frozen
+    /// availability re-enters every aggregate and the box becomes eligible
+    /// for grants again. The availability is restored exactly as frozen,
+    /// keeping the take/give ledger coherent across a fail/repair cycle.
+    ///
+    /// Errors with [`AllocError::BoxNotFailed`] if the box is not failed.
+    pub fn restore_box(&mut self, box_id: BoxId) -> Result<(), AllocError> {
+        let b = *self
+            .boxes
+            .get(box_id.0 as usize)
+            .ok_or(AllocError::NoSuchBox)?;
+        if !self.failed[box_id.0 as usize] {
+            return Err(AllocError::BoxNotFailed);
+        }
+        self.failed[box_id.0 as usize] = false;
+        self.totals_avail[b.kind.index()] += b.available as u64;
+        self.totals_cap[b.kind.index()] += b.capacity as u64;
+        self.index.insert(b.rack, b.kind, b.id, b.available);
+        Ok(())
+    }
+
     /// Fixture hook: override one box's capacity, resetting it to fully
     /// free. Used to build the paper's Table 3 toy state and ablations.
     pub fn set_box_capacity(&mut self, box_id: BoxId, capacity_units: u32) {
+        assert!(
+            !self.failed[box_id.0 as usize],
+            "fixture hook on failed box"
+        );
         let b = &mut self.boxes[box_id.0 as usize];
         let (rack, kind, old) = (b.rack, b.kind, b.available);
         self.totals_cap[kind.index()] -= b.capacity as u64;
@@ -416,6 +517,10 @@ impl Cluster {
     /// Fixture hook: force one box's free units (≤ capacity). Used to load
     /// the exact availability column of the paper's Table 3.
     pub fn force_available(&mut self, box_id: BoxId, available_units: u32) {
+        assert!(
+            !self.failed[box_id.0 as usize],
+            "fixture hook on failed box"
+        );
         let b = &mut self.boxes[box_id.0 as usize];
         assert!(available_units <= b.capacity, "availability above capacity");
         let (rack, kind, old) = (b.rack, b.kind, b.available);
@@ -428,14 +533,19 @@ impl Cluster {
     /// Debug invariant check: cached tables agree with the box table.
     /// Cheap enough for tests; not called on hot paths.
     pub fn check_invariants(&self) -> Result<(), String> {
+        if self.failed.len() != self.boxes.len() {
+            return Err("failed mask length diverges from the box table".into());
+        }
         let mut avail = [0u64; 3];
         let mut cap = [0u64; 3];
         for b in &self.boxes {
             if b.available > b.capacity {
                 return Err(format!("{}: available exceeds capacity", b.id));
             }
-            avail[b.kind.index()] += b.available as u64;
-            cap[b.kind.index()] += b.capacity as u64;
+            if !self.failed[b.id.0 as usize] {
+                avail[b.kind.index()] += b.available as u64;
+                cap[b.kind.index()] += b.capacity as u64;
+            }
         }
         if avail != self.totals_avail {
             return Err(format!(
@@ -450,6 +560,7 @@ impl Cluster {
             for kind in ALL_RESOURCES {
                 let expect = self.rack_boxes[rack as usize][kind.index()]
                     .iter()
+                    .filter(|&&b| !self.failed[b.0 as usize])
                     .map(|&b| self.boxes[b.0 as usize].available)
                     .max()
                     .unwrap_or(0);
@@ -462,6 +573,7 @@ impl Cluster {
             self.cfg.racks,
             self.boxes
                 .iter()
+                .filter(|b| !self.failed[b.id.0 as usize])
                 .map(|b| (b.rack, b.kind, b.id, b.available)),
         )
     }
@@ -472,9 +584,16 @@ impl Cluster {
 /// on load, so serialized state can never go stale against the index.
 impl Serialize for Cluster {
     fn to_value(&self) -> serde::Value {
+        let failed_ids: Vec<u32> = self
+            .boxes
+            .iter()
+            .filter(|b| self.failed[b.id.0 as usize])
+            .map(|b| b.id.0)
+            .collect();
         serde::Value::Map(vec![
             ("cfg".to_string(), self.cfg.to_value()),
             ("boxes".to_string(), self.boxes.to_value()),
+            ("failed".to_string(), failed_ids.to_value()),
         ])
     }
 }
@@ -483,6 +602,7 @@ impl Deserialize for Cluster {
     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
         let cfg = TopologyConfig::from_value(serde::value::field(v, "cfg")?)?;
         let boxes = Vec::<BoxState>::from_value(serde::value::field(v, "boxes")?)?;
+        let failed_ids = Vec::<u32>::from_value(serde::value::field(v, "failed")?)?;
         // Reject malformed box tables up front so corruption surfaces as a
         // deserialization error instead of a panic or silently broken
         // aggregates.
@@ -525,7 +645,17 @@ impl Deserialize for Cluster {
                 }
             }
         }
-        Ok(Cluster::from_parts(cfg, boxes))
+        let mut failed = vec![false; boxes.len()];
+        for id in failed_ids {
+            let slot = failed
+                .get_mut(id as usize)
+                .ok_or_else(|| serde::Error::new(format!("failed id {id} out of range")))?;
+            if *slot {
+                return Err(serde::Error::new(format!("failed id {id} listed twice")));
+            }
+            *slot = true;
+        }
+        Ok(Cluster::from_parts(cfg, boxes, failed))
     }
 }
 
@@ -698,6 +828,112 @@ mod tests {
         c.force_available(BoxId(5), 3);
         assert_eq!(c.rack_max_available(RackId(0), ResourceKind::Storage), 3);
         c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remove_box_retracts_every_aggregate() {
+        let mut c = paper_cluster();
+        c.take(BoxId(0), 100).unwrap(); // box 0: 28 free of 128
+        c.remove_box(BoxId(0)).unwrap();
+        assert!(c.is_failed(BoxId(0)));
+        // Availability and capacity leave the totals; the frozen state stays
+        // on the box itself.
+        assert_eq!(c.total_available(ResourceKind::Cpu), 4608 - 100 - 28);
+        assert_eq!(c.total_capacity(ResourceKind::Cpu), 4608 - 128);
+        assert_eq!(c.available(BoxId(0)), 28);
+        // The rack max is now the surviving box; queries never name box 0.
+        assert_eq!(c.rack_max_available(RackId(0), ResourceKind::Cpu), 128);
+        assert_eq!(
+            c.first_fit_in_rack(RackId(0), ResourceKind::Cpu, 1),
+            Some(BoxId(1))
+        );
+        assert_eq!(
+            c.best_fit_in_rack(RackId(0), ResourceKind::Cpu, 1),
+            Some(BoxId(1))
+        );
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn restore_box_reenters_with_frozen_availability() {
+        let mut c = paper_cluster();
+        c.take(BoxId(0), 100).unwrap();
+        c.remove_box(BoxId(0)).unwrap();
+        c.restore_box(BoxId(0)).unwrap();
+        assert!(!c.is_failed(BoxId(0)));
+        assert_eq!(c.available(BoxId(0)), 28);
+        assert_eq!(c.total_available(ResourceKind::Cpu), 4608 - 100);
+        assert_eq!(c.total_capacity(ResourceKind::Cpu), 4608);
+        // The outstanding 100 units release cleanly after the repair cycle.
+        c.give(BoxId(0), 100).unwrap();
+        assert_eq!(c.total_available(ResourceKind::Cpu), 4608);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn failed_boxes_refuse_take_give_and_double_transitions() {
+        let mut c = paper_cluster();
+        c.remove_box(BoxId(4)).unwrap();
+        assert_eq!(c.take(BoxId(4), 1).unwrap_err(), AllocError::BoxFailed);
+        assert_eq!(c.give(BoxId(4), 1).unwrap_err(), AllocError::BoxFailed);
+        assert_eq!(c.remove_box(BoxId(4)).unwrap_err(), AllocError::BoxFailed);
+        assert_eq!(
+            c.restore_box(BoxId(5)).unwrap_err(),
+            AllocError::BoxNotFailed
+        );
+        assert_eq!(
+            c.remove_box(BoxId(9999)).unwrap_err(),
+            AllocError::NoSuchBox
+        );
+        c.check_invariants().unwrap();
+        c.restore_box(BoxId(4)).unwrap();
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn whole_rack_removal_zeroes_rack_queries() {
+        let mut c = paper_cluster();
+        for kind in ALL_RESOURCES {
+            for b in c.boxes_in_rack(RackId(3), kind).to_vec() {
+                c.remove_box(b).unwrap();
+            }
+        }
+        for kind in ALL_RESOURCES {
+            assert_eq!(c.rack_max_available(RackId(3), kind), 0);
+            assert_eq!(c.rack_total_available(RackId(3), kind), 0);
+            assert_eq!(c.first_fit_in_rack(RackId(3), kind, 1), None);
+            assert_eq!(c.best_fit_in_rack(RackId(3), kind, 0), None);
+        }
+        assert!(!c.rack_fits(RackId(3), &UnitDemand::new(1, 1, 1)));
+        // Successor queries route around the dead rack.
+        assert_eq!(
+            c.next_rack_with_fit(ResourceKind::Cpu, 1, 3),
+            Some(RackId(4))
+        );
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn failed_boxes_roundtrip_through_serde() {
+        let mut c = paper_cluster();
+        c.take(BoxId(0), 100).unwrap();
+        c.remove_box(BoxId(0)).unwrap();
+        c.remove_box(BoxId(17)).unwrap();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: Cluster = serde_json::from_str(&json).unwrap();
+        assert!(back.is_failed(BoxId(0)));
+        assert!(back.is_failed(BoxId(17)));
+        assert_eq!(back.available(BoxId(0)), 28);
+        assert_eq!(
+            back.total_available(ResourceKind::Cpu),
+            c.total_available(ResourceKind::Cpu)
+        );
+        back.check_invariants().unwrap();
+        // Malformed failed lists are rejected, not absorbed.
+        let bad = json.replace("\"failed\":[0,17]", "\"failed\":[0,99999]");
+        assert!(serde_json::from_str::<Cluster>(&bad).is_err());
+        let dup = json.replace("\"failed\":[0,17]", "\"failed\":[0,0]");
+        assert!(serde_json::from_str::<Cluster>(&dup).is_err());
     }
 
     #[test]

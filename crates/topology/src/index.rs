@@ -14,9 +14,17 @@
 //! * per rack × resource kind, the **total available units** — giving O(1)
 //!   restricted contention-ratio denominators;
 //! * a **segment tree over racks** whose nodes store per-kind maxima of
-//!   the rack max-available tables — giving O(log racks) successor queries
+//!   the rack *fit keys* — giving O(log racks) successor queries
 //!   `next_rack_with_fit` (single kind, exact) and `next_pool_rack`
 //!   (all three kinds; exact at leaves, guided at internal nodes).
+//!
+//! A rack's fit key for a kind is `max_available + 1` over the rack's
+//! *live* boxes, or `0` when every box of that kind has been retracted
+//! (see [`PlacementIndex::remove`]). Encoding liveness into the key makes
+//! every fit predicate a strict comparison `key > units`, i.e. "some live
+//! box has ≥ `units` free" — which stays correct for zero-unit demands on
+//! a fully-failed rack, where a plain `max ≥ units` would wrongly admit
+//! the rack (max saturates to 0 with no boxes behind it).
 //!
 //! Updates are O(log racks + log boxes-per-rack) per `take`/`give`;
 //! queries never scan the box table. `Cluster` owns one of these and keeps
@@ -34,7 +42,8 @@ pub struct PlacementIndex {
     /// Leaf count of the segment tree (racks rounded up to a power of two).
     cap: usize,
     /// Segment tree nodes, 1-indexed; `tree[cap + r]` is rack `r`'s
-    /// per-kind max-available leaf, internal nodes hold children maxima.
+    /// per-kind fit-key leaf (`max_available + 1`, `0` = no live boxes),
+    /// internal nodes hold children maxima.
     tree: Vec<[u32; 3]>,
     /// Per rack, per kind: `(available, box)` ascending.
     sets: Vec<[BTreeSet<(u32, BoxId)>; 3]>,
@@ -65,7 +74,7 @@ impl PlacementIndex {
         }
         for r in 0..n {
             for k in 0..3 {
-                index.tree[cap + r][k] = index.sets[r][k].last().map_or(0, |&(avail, _)| avail);
+                index.tree[cap + r][k] = Self::fit_key(&index.sets[r][k]);
             }
         }
         for node in (1..cap).rev() {
@@ -76,6 +85,13 @@ impl PlacementIndex {
 
     fn merge(a: [u32; 3], b: [u32; 3]) -> [u32; 3] {
         [a[0].max(b[0]), a[1].max(b[1]), a[2].max(b[2])]
+    }
+
+    /// The rack/kind fit key: `max_available + 1` over live boxes, `0`
+    /// when none remain. (Saturating: a box with `u32::MAX` free would
+    /// alias with `u32::MAX - 1`, which no real capacity approaches.)
+    fn fit_key(set: &BTreeSet<(u32, BoxId)>) -> u32 {
+        set.last().map_or(0, |&(avail, _)| avail.saturating_add(1))
     }
 
     /// Record one box's availability change. O(log racks) when the rack
@@ -97,16 +113,16 @@ impl PlacementIndex {
         debug_assert!(removed, "index out of sync: missing {box_id} @ {old_avail}");
         set.insert((new_avail, box_id));
         self.totals[r][k] = self.totals[r][k] + new_avail as u64 - old_avail as u64;
-        let new_max = set.last().map_or(0, |&(avail, _)| avail);
-        self.refresh_leaf(r, k, new_max);
+        let key = Self::fit_key(&self.sets[r][k]);
+        self.refresh_leaf(r, k, key);
     }
 
-    fn refresh_leaf(&mut self, r: usize, k: usize, new_max: u32) {
+    fn refresh_leaf(&mut self, r: usize, k: usize, new_key: u32) {
         let mut node = self.cap + r;
-        if self.tree[node][k] == new_max {
+        if self.tree[node][k] == new_key {
             return;
         }
-        self.tree[node][k] = new_max;
+        self.tree[node][k] = new_key;
         while node > 1 {
             node /= 2;
             let recomputed = Self::merge(self.tree[2 * node], self.tree[2 * node + 1]);
@@ -117,10 +133,44 @@ impl PlacementIndex {
         }
     }
 
-    /// Largest availability among `rack`'s boxes of `kind`. O(1).
+    /// Retract one box from the index entirely — used when the box fails
+    /// and must stop answering every aggregate query (maxima, totals,
+    /// best-fit, successor scans). O(log racks) when the rack maximum
+    /// moves.
+    pub fn remove(&mut self, rack: RackId, kind: ResourceKind, box_id: BoxId, avail: u32) {
+        let (r, k) = (rack.0 as usize, kind.index());
+        let removed = self.sets[r][k].remove(&(avail, box_id));
+        debug_assert!(removed, "index out of sync: missing {box_id} @ {avail}");
+        self.totals[r][k] -= avail as u64;
+        let key = Self::fit_key(&self.sets[r][k]);
+        self.refresh_leaf(r, k, key);
+    }
+
+    /// Re-admit a box previously retracted with [`PlacementIndex::remove`]
+    /// at availability `avail`. O(log racks) when the rack maximum moves.
+    pub fn insert(&mut self, rack: RackId, kind: ResourceKind, box_id: BoxId, avail: u32) {
+        let (r, k) = (rack.0 as usize, kind.index());
+        let inserted = self.sets[r][k].insert((avail, box_id));
+        debug_assert!(inserted, "index out of sync: duplicate {box_id} @ {avail}");
+        self.totals[r][k] += avail as u64;
+        let key = Self::fit_key(&self.sets[r][k]);
+        self.refresh_leaf(r, k, key);
+    }
+
+    /// Largest availability among `rack`'s *live* boxes of `kind`
+    /// (0 when none remain). O(1).
     #[inline]
     pub fn rack_max(&self, rack: RackId, kind: ResourceKind) -> u32 {
-        self.tree[self.cap + rack.0 as usize][kind.index()]
+        self.tree[self.cap + rack.0 as usize][kind.index()].saturating_sub(1)
+    }
+
+    /// Whether `rack` holds a live box of `kind` with ≥ `units` free.
+    /// Unlike `rack_max(..) >= units`, this stays correct for zero-unit
+    /// demands on a rack whose boxes of `kind` have all been retracted.
+    /// O(1).
+    #[inline]
+    pub fn rack_admits(&self, rack: RackId, kind: ResourceKind, units: u32) -> bool {
+        self.tree[self.cap + rack.0 as usize][kind.index()] > units
     }
 
     /// Total available units of `kind` in `rack`. O(1).
@@ -138,19 +188,19 @@ impl PlacementIndex {
             .map(|&(_, b)| b)
     }
 
-    /// First rack with id ≥ `from` holding a box of `kind` with ≥ `units`
-    /// free. Exact, O(log racks).
+    /// First rack with id ≥ `from` holding a *live* box of `kind` with
+    /// ≥ `units` free. Exact, O(log racks).
     pub fn next_rack_with_fit(&self, kind: ResourceKind, units: u32, from: u16) -> Option<RackId> {
         let k = kind.index();
-        self.descend(from as usize, |node| node[k] >= units)
+        self.descend(from as usize, |node| node[k] > units)
     }
 
     /// First rack with id ≥ `from` able to host the whole `demand` in
-    /// single boxes (RISA's `INTRA_RACK_POOL` membership test). Exact at
-    /// leaves; internal nodes prune by per-kind maxima.
+    /// single *live* boxes (RISA's `INTRA_RACK_POOL` membership test).
+    /// Exact at leaves; internal nodes prune by per-kind fit keys.
     pub fn next_pool_rack(&self, demand: &[u32; 3], from: u16) -> Option<RackId> {
         self.descend(from as usize, |node| {
-            node[0] >= demand[0] && node[1] >= demand[1] && node[2] >= demand[2]
+            node[0] > demand[0] && node[1] > demand[1] && node[2] > demand[2]
         })
     }
 

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_des.json against the checked-in snapshot.
+
+Usage: bench_diff.py <baseline.json> <current.json> [--threshold 0.20]
+
+Prints an events/s comparison per (arrival mode x FEL backend) cell and
+emits a GitHub Actions `::warning::` annotation for every cell that
+dropped more than the threshold below the baseline. Always exits 0 on
+well-formed input: machines and run sizes differ between the checked-in
+snapshot and a CI smoke run, so this is a tripwire, not a gate.
+"""
+
+import argparse
+import json
+import sys
+
+
+def cells(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "risa-bench-des/v1":
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return {(r["arrival_mode"], r["fel"]): r["events_per_sec"] for r in doc["runs"]}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.20)
+    args = ap.parse_args()
+
+    base = cells(args.baseline)
+    cur = cells(args.current)
+    regressed = []
+    print(f"DES events/s vs {args.baseline} (warn below -{args.threshold:.0%}):")
+    for key in sorted(base):
+        mode, fel = key
+        b = base[key]
+        c = cur.get(key)
+        if c is None:
+            regressed.append(f"{mode}/{fel}: cell missing from {args.current}")
+            continue
+        delta = c / b - 1.0
+        flag = " <-- REGRESSION" if delta < -args.threshold else ""
+        print(f"  {mode:>12}/{fel:<8} {b:>12.0f} -> {c:>12.0f}  ({delta:+7.1%}){flag}")
+        if flag:
+            regressed.append(f"{mode}/{fel}: {b:.0f} -> {c:.0f} events/s ({delta:+.1%})")
+    for r in regressed:
+        print(f"::warning::DES throughput regression: {r}")
+    if not regressed:
+        print("all cells within threshold")
+
+
+if __name__ == "__main__":
+    main()
