@@ -102,6 +102,30 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                 .run();
             emit(&report, json)
         }
+        Command::Lint {
+            json,
+            deny_warnings,
+        } => lint(json, deny_warnings),
+    }
+}
+
+/// `lint`: run the determinism/concurrency static analysis over the
+/// workspace this binary was built from (found by walking up from the
+/// current directory to a `[workspace]` manifest).
+fn lint(json: bool, deny_warnings: bool) -> Result<(), String> {
+    let cwd = std::env::current_dir().map_err(|e| format!("cannot read current dir: {e}"))?;
+    let root = risa_lint::find_workspace_root(&cwd)
+        .ok_or_else(|| format!("no workspace root found above {}", cwd.display()))?;
+    let findings = risa_lint::lint_workspace(&root)
+        .map_err(|e| format!("lint walk failed under {}: {e}", root.display()))?;
+    if json {
+        print!("{}", risa_lint::render_json(&findings));
+    } else {
+        print!("{}", risa_lint::render_text(&findings, false));
+    }
+    match risa_lint::exit_code(&findings, deny_warnings) {
+        0 => Ok(()),
+        _ => Err("lint findings (see report above)".into()),
     }
 }
 

@@ -8,6 +8,7 @@
 //! risa-cli bench --racks 12,768 --jobs 1          # throughput sweep, uncontended
 //! risa-cli generate --workload synthetic --n 2500 --seed 42 --out trace.json
 //! risa-cli replay --trace trace.json --algo NALB  # run a saved trace
+//! risa-cli lint --deny-warnings                   # determinism static analysis
 //! ```
 //!
 //! `experiment` and `bench` fan out over the `rayon` thread pool; `--jobs`

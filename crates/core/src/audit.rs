@@ -11,7 +11,7 @@
 use crate::algorithm::VmAssignment;
 use risa_topology::{Cluster, ResourceKind, TopologyConfig, ALL_RESOURCES};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A violation detected by the auditor.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -94,8 +94,10 @@ pub struct ScheduleAuditor {
     cfg: TopologyConfig,
     /// Shadow used-units per box.
     used: Vec<u64>,
-    /// Resident assignments by admission sequence number.
-    resident: HashMap<u64, VmAssignment>,
+    /// Resident assignments by admission sequence number. BTreeMap so a
+    /// future "list the leaked VMs" diagnostic can never depend on hash
+    /// order (risa-lint `hash_state`).
+    resident: BTreeMap<u64, VmAssignment>,
     next_vm: u64,
     violations: Vec<AuditViolation>,
     admitted: u64,
@@ -109,7 +111,7 @@ impl ScheduleAuditor {
         ScheduleAuditor {
             cfg: *cluster.config(),
             used: vec![0; cluster.num_boxes()],
-            resident: HashMap::new(),
+            resident: BTreeMap::new(),
             next_vm: 0,
             violations: Vec::new(),
             admitted: 0,

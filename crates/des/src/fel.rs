@@ -80,6 +80,7 @@ impl FelKind {
     /// unrecognized value rather than silently benchmarking the wrong
     /// backend.
     pub fn from_env() -> FelKind {
+        // risa-lint: allow(env_read) — selects which FEL backend runs; differential tests prove the choice never changes a report byte
         match std::env::var("RISA_FEL") {
             Err(_) => FelKind::Heap,
             Ok(v) => v.parse().unwrap_or_else(|e| panic!("RISA_FEL: {e}")),

@@ -1,0 +1,92 @@
+//! `risa-lint` binary: lint the workspace for determinism/concurrency
+//! contract violations.
+//!
+//! Exit codes: 0 clean, 1 active findings, 2 internal error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use risa_lint::{exit_code, find_workspace_root, lint_workspace, render_json, render_text};
+
+const USAGE: &str = "\
+risa-lint — determinism/concurrency static analysis for the RISA workspace
+
+USAGE:
+    risa-lint [--json] [--deny-warnings] [--show-waived] [--root <dir>]
+
+OPTIONS:
+    --json            machine-readable report (schema risa-lint/v1)
+    --deny-warnings   treat warnings (e.g. unused waivers) as failures
+    --show-waived     include waived findings in the text report
+    --root <dir>      lint this workspace root instead of auto-detecting
+    -h, --help        print this help
+
+EXIT CODES:
+    0  clean          1  findings          2  internal error
+";
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut deny_warnings = false;
+    let mut show_waived = false;
+    let mut root: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--show-waived" => show_waived = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("risa-lint: --root needs a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("risa-lint: unknown option `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("risa-lint: cannot read current dir: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("risa-lint: no workspace root found above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let findings = match lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("risa-lint: walk failed under {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", render_json(&findings));
+    } else {
+        print!("{}", render_text(&findings, show_waived));
+    }
+    ExitCode::from(exit_code(&findings, deny_warnings))
+}

@@ -1,0 +1,20 @@
+//@ path: crates/sim/src/fixture.rs
+// Test code is exempt from the engine-code rules.
+pub fn real() -> u32 {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn timing_and_hashing_are_fine_in_tests() {
+        let t = std::time::Instant::now();
+        let mut m = HashMap::new();
+        let r = StdRng::seed_from_u64(7);
+        let h = std::thread::spawn(|| 1);
+        let v = std::env::var("RISA_ANYTHING");
+        let _ = (t, m.insert(1, 2), r, h, v);
+    }
+}

@@ -1,0 +1,7 @@
+//@ path: crates/metrics/src/fixture.rs
+// True positive: environment reads in a library crate.
+pub fn configure() {
+    let _v = std::env::var("RISA_SECRET"); //~ ERROR env_read
+    let _o = std::env::var_os("RISA_SECRET"); //~ ERROR env_read
+    let _c = option_env!("RISA_SECRET"); //~ ERROR env_read
+}

@@ -1,0 +1,5 @@
+//@ path: crates/cli/src/fixture.rs
+// True negative: the CLI boundary may read the environment.
+pub fn jobs() -> Option<usize> {
+    std::env::var("RISA_THREADS").ok()?.parse().ok()
+}

@@ -1,0 +1,8 @@
+//@ path: crates/des/src/fixture.rs
+// True positive: hash-ordered collections in engine state.
+use std::collections::{HashMap, HashSet}; //~ ERROR hash_state
+
+pub struct State {
+    pending: HashMap<u32, u64>, //~ ERROR hash_state
+    seen: HashSet<u32>,         //~ ERROR hash_state
+}

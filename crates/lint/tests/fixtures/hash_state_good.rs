@@ -1,0 +1,8 @@
+//@ path: crates/des/src/fixture.rs
+// True negative: ordered collections in engine state.
+use std::collections::{BTreeMap, BTreeSet};
+
+pub struct State {
+    pending: BTreeMap<u32, u64>,
+    seen: BTreeSet<u32>,
+}

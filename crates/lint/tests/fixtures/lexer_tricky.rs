@@ -1,0 +1,13 @@
+//@ path: crates/des/src/fixture.rs
+// Needles inside strings, raw strings, and comments must never fire.
+pub fn tricky() -> String {
+    let a = "HashMap and Instant::now and Mutex";
+    let b = r#"HashSet "quoted" Condvar"#;
+    let c = b"thread_rng AtomicUsize";
+    /* seed_from_u64 inside a block comment
+       unsafe inside a block comment */
+    // std::env::var in a line comment
+    let lifetime_not_char: &'static str = "x";
+    let brace_char = '{';
+    format!("{a}{b}{c:?}{lifetime_not_char}{brace_char}")
+}

@@ -1,0 +1,6 @@
+//@ path: crates/core/src/fixture.rs
+// True positive: unsafe outside vendor/rayon, even with a SAFETY comment.
+pub fn read(p: *const u8) -> u8 {
+    // SAFETY: a justification does not make engine unsafe acceptable.
+    unsafe { *p } //~ ERROR no_unsafe
+}

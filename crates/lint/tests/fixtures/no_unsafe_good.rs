@@ -1,0 +1,7 @@
+//@ path: crates/core/src/fixture.rs
+// True negative: safe engine code mentioning unsafe only in prose.
+/// This function is entirely safe ("unsafe" appears only in this string:
+/// "no unsafe here").
+pub fn read(v: &[u8]) -> u8 {
+    v[0]
+}

@@ -1,0 +1,7 @@
+//@ path: crates/workload/src/fixture.rs
+// True positive: ad-hoc seeding outside the derivation helpers.
+pub fn gen() {
+    let _a = StdRng::seed_from_u64(1234); //~ ERROR rng_seed
+    let _b = StdRng::from_entropy(); //~ ERROR rng_seed
+    let _c = thread_rng(); //~ ERROR rng_seed
+}

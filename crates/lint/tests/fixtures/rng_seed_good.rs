@@ -1,0 +1,5 @@
+//@ path: crates/workload/src/shard.rs
+// True negative: the derivation-helper file itself may construct RNGs.
+pub fn stream_rng(seed: u64, shard: u32, stream: u32) -> StdRng {
+    StdRng::seed_from_u64(stream_seed(seed, shard, stream))
+}

@@ -1,0 +1,5 @@
+//@ path: vendor/rayon/src/fixture.rs
+// True positive: vendored unsafe without a SAFETY justification.
+pub fn read(p: *const u8) -> u8 {
+    unsafe { *p } //~ ERROR safety_comment
+}

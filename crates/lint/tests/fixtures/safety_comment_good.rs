@@ -1,0 +1,14 @@
+//@ path: vendor/rayon/src/fixture.rs
+// True negative: justified unsafe in the vendored pool.
+pub fn read(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees `p` is valid for reads.
+    unsafe { *p }
+}
+
+/// Doc-contract form.
+///
+/// # Safety
+/// `p` must be valid for reads.
+pub unsafe fn read_raw(p: *const u8) -> u8 {
+    *p
+}

@@ -1,0 +1,10 @@
+//@ path: crates/sim/src/fixture.rs
+// True positive: concurrency primitives outside the vendored pool.
+use std::sync::atomic::AtomicU64; //~ ERROR thread_primitive
+
+pub fn go() {
+    let _h = std::thread::spawn(|| 1); //~ ERROR thread_primitive
+    let _m = std::sync::Mutex::new(0); //~ ERROR thread_primitive
+    let _c = std::sync::Condvar::new(); //~ ERROR thread_primitive
+    let (_tx, _rx) = std::sync::mpsc::channel::<u8>(); //~ ERROR thread_primitive
+}

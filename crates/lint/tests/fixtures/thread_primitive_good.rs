@@ -1,0 +1,8 @@
+//@ path: vendor/rayon/src/fixture.rs
+// True negative: the vendored pool is the allowlisted home of these.
+use std::sync::atomic::AtomicU64;
+use std::sync::{Condvar, Mutex};
+
+pub fn pool(counter: &AtomicU64, lock: &Mutex<u8>, cv: &Condvar) {
+    let _ = (counter, lock, cv);
+}

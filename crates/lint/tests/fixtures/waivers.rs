@@ -1,0 +1,20 @@
+//@ path: crates/sim/src/fixture.rs
+// Waiver parsing: suppression, missing reasons, unknown rules, unused.
+use std::collections::HashMap; // risa-lint: allow(hash_state) — fixture: keyed access only
+
+pub struct Waived {
+    // risa-lint: allow(hash_state) — fixture: waiver above the line reaches it
+    slots: HashMap<u32, u8>,
+}
+
+pub fn bad() {
+    let _m: HashMap<u8, u8> = HashMap::new(); // risa-lint: allow(hash_state)
+    //~^ ERROR bad_waiver
+    //~^^ ERROR hash_state
+    let _x = 1; // risa-lint: allow(hash_stat) — typo in the rule name
+    //~^ ERROR bad_waiver
+}
+
+// risa-lint: allow(wall_clock) — fixture: suppresses nothing below
+pub fn idle() {}
+//~^^ WARN unused_waiver

@@ -1,0 +1,7 @@
+//@ path: crates/sim/src/fixture.rs
+// True positive: a wall-clock read in engine code.
+pub fn measure() -> std::time::Instant {
+    let t = std::time::Instant::now(); //~ ERROR wall_clock
+    let _ = std::time::SystemTime::now(); //~ ERROR wall_clock
+    t
+}

@@ -1,0 +1,6 @@
+//@ path: crates/bench/src/fixture.rs
+// True negative: bench code is sanctioned timing code.
+pub fn measure() {
+    let t = std::time::Instant::now();
+    let _ = t.elapsed();
+}

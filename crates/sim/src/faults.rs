@@ -87,6 +87,7 @@ impl FaultSpec {
     /// unset/`0`/`off` → `None`; `1`/`on`/`canonical` → the canonical
     /// scenario; any other integer → canonical with that seed.
     pub fn from_env() -> Option<Self> {
+        // risa-lint: allow(env_read) — selects the fault scenario under test; the spec itself is fully seed-derived
         match std::env::var("RISA_FAULTS") {
             Err(_) => None,
             Ok(v) => match v.trim() {

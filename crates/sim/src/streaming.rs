@@ -54,6 +54,7 @@ impl ArrivalMode {
     /// [`ArrivalMode::Materialized`]. Panics on an unrecognized value
     /// rather than silently running the wrong pipeline.
     pub fn from_env() -> ArrivalMode {
+        // risa-lint: allow(env_read) — selects the arrival pipeline; differential tests prove the choice never changes a report byte
         match std::env::var("RISA_ARRIVALS") {
             Err(_) => ArrivalMode::Materialized,
             Ok(v) => v.parse().unwrap_or_else(|e| panic!("RISA_ARRIVALS: {e}")),

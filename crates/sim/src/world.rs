@@ -14,7 +14,8 @@ use risa_topology::{
     BoxId, Cluster, RackId, ResourceKind, TopologyConfig, UnitDemand, ALL_RESOURCES,
 };
 use risa_workload::{StreamingShards, VmRequest, Workload};
-use std::collections::{BTreeSet, HashMap, HashSet};
+// risa-lint: allow(hash_state) — import feeds PerVmSlots::Sparse only; see the waiver there
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::time::{Duration, Instant};
 
 /// Default scheduler-timing batch: one clock pair per 16 scheduling calls
@@ -66,6 +67,7 @@ impl SchedTimer {
     #[inline]
     fn start(&self) -> Option<Instant> {
         (self.calls == 0 || (self.calls + 1).is_multiple_of(u64::from(self.every)))
+            // risa-lint: allow(wall_clock) — SchedTimer IS the sanctioned scheduler-wall instrument
             .then(Instant::now)
     }
 
@@ -233,6 +235,7 @@ impl VmSource {
 #[derive(Debug, Clone)]
 pub(crate) enum PerVmSlots<T> {
     Dense(Vec<Option<T>>),
+    // risa-lint: allow(hash_state) — keyed access on the hot path; iterated only for the order-independent all_free/occupied counts
     Sparse(HashMap<u32, T>),
 }
 
@@ -242,6 +245,7 @@ impl<T: Clone> PerVmSlots<T> {
     }
 
     fn sparse() -> Self {
+        // risa-lint: allow(hash_state) — constructor for the waived Sparse variant above
         PerVmSlots::Sparse(HashMap::new())
     }
 
@@ -320,11 +324,13 @@ pub(crate) struct FaultState {
     /// so evacuation visits victims in ascending VM index — part of the
     /// determinism contract.
     rack_residents: Vec<BTreeSet<u32>>,
-    /// Evacuated VMs still in transit to their re-placement.
-    pub(crate) in_transit: HashMap<u32, Migration>,
+    /// Evacuated VMs still in transit to their re-placement. BTreeMap:
+    /// bounded by in-flight migrations (cold), and orderable if a future
+    /// report ever lists them.
+    pub(crate) in_transit: BTreeMap<u32, Migration>,
     /// Evacuated VMs dropped at re-placement whose original departure
     /// event is still in flight (swallowed when it fires).
-    tombstones: HashSet<u32>,
+    tombstones: BTreeSet<u32>,
     /// Total capacity units (all kinds) of the pristine cluster — the
     /// baseline the stranded-capacity meter measures against.
     pristine_units: u64,
@@ -354,8 +360,8 @@ impl FaultState {
             meters: FaultMeters::new(),
             rack_down_since: vec![None; racks as usize],
             rack_residents: vec![BTreeSet::new(); racks as usize],
-            in_transit: HashMap::new(),
-            tombstones: HashSet::new(),
+            in_transit: BTreeMap::new(),
+            tombstones: BTreeSet::new(),
             pristine_units: ALL_RESOURCES
                 .iter()
                 .map(|&k| cluster.total_capacity(k))

@@ -1,26 +1,58 @@
 #!/usr/bin/env python3
-"""Compare a fresh BENCH_des.json against the checked-in snapshot.
+"""Compare a fresh BENCH_*.json against the checked-in snapshot.
 
 Usage: bench_diff.py <baseline.json> <current.json> [--threshold 0.20]
 
-Prints an events/s comparison per (arrival mode x FEL backend) cell and
-emits a GitHub Actions `::warning::` annotation for every cell that
-dropped more than the threshold below the baseline. Always exits 0 on
-well-formed input: machines and run sizes differ between the checked-in
-snapshot and a CI smoke run, so this is a tripwire, not a gate.
+Understands all three snapshot schemas the bench suite writes:
+
+  risa-bench-des/v1    events/s per (arrival mode x FEL backend) cell
+  risa-bench-scale/v1  ops/s per (racks x algorithm) cell
+  risa-bench-gen/v1    one VMs/s cell
+
+Prints a throughput comparison per cell and emits a GitHub Actions
+`::warning::` annotation for every cell that dropped more than the
+threshold below the baseline. Always exits 0 on well-formed input:
+machines and run sizes differ between the checked-in snapshot and a CI
+smoke run, so this is a tripwire, not a gate. The two files must share
+a schema.
 """
 
 import argparse
 import json
 import sys
 
+# schema -> (display name, unit, cell extractor).
+SCHEMAS = {
+    "risa-bench-des/v1": (
+        "DES",
+        "events/s",
+        lambda doc: {
+            (r["arrival_mode"], r["fel"]): r["events_per_sec"] for r in doc["runs"]
+        },
+    ),
+    "risa-bench-scale/v1": (
+        "scheduling scale",
+        "ops/s",
+        lambda doc: {
+            (str(r["racks"]), r["algorithm"]): r["ops_per_sec"] for r in doc["rows"]
+        },
+    ),
+    "risa-bench-gen/v1": (
+        "trace generation",
+        "VMs/s",
+        lambda doc: {("generate", "synthetic"): doc["vms_per_sec"]},
+    ),
+}
 
-def cells(path):
+
+def load(path):
     with open(path) as f:
         doc = json.load(f)
-    if doc.get("schema") != "risa-bench-des/v1":
-        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
-    return {(r["arrival_mode"], r["fel"]): r["events_per_sec"] for r in doc["runs"]}
+    schema = doc.get("schema")
+    if schema not in SCHEMAS:
+        sys.exit(f"{path}: unexpected schema {schema!r}")
+    name, unit, extract = SCHEMAS[schema]
+    return schema, name, unit, extract(doc)
 
 
 def main():
@@ -30,24 +62,27 @@ def main():
     ap.add_argument("--threshold", type=float, default=0.20)
     args = ap.parse_args()
 
-    base = cells(args.baseline)
-    cur = cells(args.current)
+    bschema, name, unit, base = load(args.baseline)
+    cschema, _, _, cur = load(args.current)
+    if bschema != cschema:
+        sys.exit(f"schema mismatch: {args.baseline} is {bschema}, {args.current} is {cschema}")
+
     regressed = []
-    print(f"DES events/s vs {args.baseline} (warn below -{args.threshold:.0%}):")
+    print(f"{name} {unit} vs {args.baseline} (warn below -{args.threshold:.0%}):")
     for key in sorted(base):
-        mode, fel = key
+        a, b_label = key
         b = base[key]
         c = cur.get(key)
         if c is None:
-            regressed.append(f"{mode}/{fel}: cell missing from {args.current}")
+            regressed.append(f"{a}/{b_label}: cell missing from {args.current}")
             continue
         delta = c / b - 1.0
         flag = " <-- REGRESSION" if delta < -args.threshold else ""
-        print(f"  {mode:>12}/{fel:<8} {b:>12.0f} -> {c:>12.0f}  ({delta:+7.1%}){flag}")
+        print(f"  {a:>12}/{b_label:<8} {b:>12.0f} -> {c:>12.0f}  ({delta:+7.1%}){flag}")
         if flag:
-            regressed.append(f"{mode}/{fel}: {b:.0f} -> {c:.0f} events/s ({delta:+.1%})")
+            regressed.append(f"{a}/{b_label}: {b:.0f} -> {c:.0f} {unit} ({delta:+.1%})")
     for r in regressed:
-        print(f"::warning::DES throughput regression: {r}")
+        print(f"::warning::{name} throughput regression: {r}")
     if not regressed:
         print("all cells within threshold")
 

@@ -109,7 +109,7 @@ pub(crate) struct JobRef {
     execute_fn: unsafe fn(*const ()),
 }
 
-// Safety: a JobRef is only ever executed once, and the pointee is kept
+// SAFETY: a JobRef is only ever executed once, and the pointee is kept
 // alive by its creator until the job's latch opens (the deque/injector
 // protocols in `registry.rs` guarantee execute-once; the creators in
 // `join`/`run_ordered` guarantee liveness).
@@ -211,6 +211,9 @@ where
     F: FnOnce() -> R + Send,
     R: Send,
 {
+    // SAFETY: contract inherited from `Job::execute` — `this` is live and
+    // unexecuted, and exactly one thread calls this, so the UnsafeCell
+    // accesses below are unaliased.
     unsafe fn execute(this: *const Self) {
         let this = &*this;
         let func = (*this.func.get()).take().expect("job executed twice");

@@ -180,12 +180,12 @@ where
             move || split_fill(0, slots_ref, fill_ref, grain, width),
             LockLatch::new(),
         );
-        // Safety: `job` lives on this frame and we wait on its latch
+        // SAFETY: `job` lives on this frame and we wait on its latch
         // below before touching `slots` again or returning.
         let job_ref = unsafe { job.as_job_ref() };
         reg.inject(job_ref);
         job.latch().wait();
-        // Safety: the latch opened, so the worker's result write (and
+        // SAFETY: the latch opened, so the worker's result write (and
         // every slot write) happens-before this read.
         if let Err(payload) = unsafe { job.take_result() } {
             std::panic::resume_unwind(payload);

@@ -197,6 +197,10 @@ impl Registry {
     /// job, or park until work may exist (or `latch` opens).
     fn round(&'static self, index: usize, latch: Option<&CoreLatch>) {
         if let Some(job) = self.find_job(index) {
+            // SAFETY: `find_job` transfers exclusive ownership of the
+            // JobRef (deque pop / steal / injector pop each yield a job to
+            // exactly one thread), and its creator keeps it alive until
+            // the latch this execution sets.
             unsafe { job.execute() };
             return;
         }
@@ -209,6 +213,8 @@ impl Registry {
         let seen = *self.sleep_gen.lock().expect("sleep mutex");
         if let Some(job) = self.find_job(index) {
             self.sleepers.fetch_sub(1, Ordering::SeqCst);
+            // SAFETY: as above — `find_job` hands this job to this thread
+            // alone, and the creator keeps it alive until its latch opens.
             unsafe { job.execute() };
             return;
         }
@@ -298,7 +304,7 @@ where
 {
     let registry = global();
     let job_b = StackJob::new(oper_b, CoreLatch::new(registry));
-    // Safety: job_b outlives the JobRef — every path below either pops
+    // SAFETY: job_b outlives the JobRef — every path below either pops
     // it back unexecuted or waits on its latch before the frame ends.
     let job_b_ref = unsafe { job_b.as_job_ref() };
     let job_b_id = job_b_ref.id();
@@ -312,6 +318,8 @@ where
             // `oper_a`'s panic wins).
             if !registry.deques[index].pop_back_if(job_b_id) {
                 registry.wait_until(index, job_b.latch());
+                // SAFETY: the latch just opened, ordering the thief's
+                // result write before this (discarded) read.
                 let _ = unsafe { job_b.take_result() };
             }
             std::panic::resume_unwind(payload);
@@ -326,7 +334,7 @@ where
                 (ra, rb)
             } else {
                 registry.wait_until(index, job_b.latch());
-                // Safety: latch opened, so the thief's write to the
+                // SAFETY: latch opened, so the thief's write to the
                 // result slot happens-before this read.
                 match unsafe { job_b.take_result() } {
                     Ok(rb) => (ra, rb),

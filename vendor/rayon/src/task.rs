@@ -65,13 +65,16 @@ impl<F: FnOnce() + Send> HeapJob<F> {
     /// that), and execution reclaims the box.
     fn into_job_ref(self: Box<Self>) -> JobRef {
         let ptr = Box::into_raw(self);
-        // Safety: `ptr` stays valid until `execute` reclaims it; the queue
+        // SAFETY: `ptr` stays valid until `execute` reclaims it; the queue
         // protocols deliver the JobRef to exactly one executor.
         unsafe { JobRef::new(ptr) }
     }
 }
 
 impl<F: FnOnce() + Send> Job for HeapJob<F> {
+    // SAFETY: contract inherited from `Job::execute`; `this` came from
+    // `Box::into_raw` in `into_job_ref` and is executed exactly once, so
+    // reclaiming the box here is sound and leak-free.
     unsafe fn execute(this: *const Self) {
         let job = Box::from_raw(this as *mut Self);
         (job.f)();
