@@ -18,7 +18,7 @@ use risa_metrics::{Align, Table};
 use risa_network::NetworkConfig;
 use risa_sched::cycle::ScheduleCycle;
 use risa_sched::Algorithm;
-use risa_sim::{experiments, host_info, RunReport, SimulationBuilder, WorkloadSpec};
+use risa_sim::{experiments, host_info, Checkpoint, RunReport, SimulationBuilder, WorkloadSpec};
 use risa_topology::TopologyConfig;
 use risa_workload::{SyntheticConfig, Workload};
 
@@ -36,31 +36,80 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             faults,
             json,
             jobs,
+            checkpoint,
+            checkpoint_every,
+            resume,
         } => {
             apply_jobs(jobs);
-            let paper = TopologyConfig::paper();
-            if u32::from(paper.racks) * u32::from(scale) > u32::from(u16::MAX) {
-                return Err(format!(
-                    "--scale {scale} exceeds the {} rack limit ({} racks per paper cluster)",
-                    u16::MAX,
-                    paper.racks
-                ));
-            }
-            let spec = spec_of(workload, seed);
-            let mut builder = SimulationBuilder::new()
-                .algorithm(algo)
-                .workload(spec)
-                .topology(paper.scaled(scale));
-            if let Some(kind) = fel {
-                builder = builder.fel(kind);
-            }
-            if let Some(mode) = arrivals {
-                builder = builder.arrivals(mode);
-            }
-            if faults {
-                builder = builder.faults(risa_sim::FaultSpec::canonical());
-            }
-            let report = builder.build().run();
+            let mut sim = if let Some(path) = resume {
+                // The checkpoint embeds the fully-resolved run recipe:
+                // nothing is re-read from flags or the environment.
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read checkpoint {path}: {e}"))?;
+                let cp = Checkpoint::from_json(&text)
+                    .map_err(|e| format!("bad checkpoint {path}: {e}"))?;
+                eprintln!(
+                    "resuming at t={} ({} events dispatched, {} pending, {} arrivals left)",
+                    cp.at(),
+                    cp.events_dispatched(),
+                    cp.pending_events(),
+                    cp.arrivals_remaining()
+                );
+                cp.resume()
+            } else {
+                let paper = TopologyConfig::paper();
+                if u32::from(paper.racks) * u32::from(scale) > u32::from(u16::MAX) {
+                    return Err(format!(
+                        "--scale {scale} exceeds the {} rack limit ({} racks per paper cluster)",
+                        u16::MAX,
+                        paper.racks
+                    ));
+                }
+                let spec = spec_of(workload, seed);
+                let mut builder = SimulationBuilder::new()
+                    .algorithm(algo)
+                    .workload(spec)
+                    .topology(paper.scaled(scale));
+                if let Some(kind) = fel {
+                    builder = builder.fel(kind);
+                }
+                if let Some(mode) = arrivals {
+                    builder = builder.arrivals(mode);
+                }
+                if faults {
+                    builder = builder.faults(risa_sim::FaultSpec::canonical());
+                }
+                if let Some(every) = checkpoint_every {
+                    builder = builder.checkpoint_every(every);
+                }
+                builder.try_build().map_err(|e| e.to_string())?
+            };
+            // One resolved-config line on stderr: what the run actually
+            // uses after flag-vs-env precedence (flags win; see
+            // tests/precedence.rs).
+            eprintln!(
+                "resolved: fel={} arrivals={} faults={} jobs={}",
+                sim.fel_backend(),
+                sim.arrival_mode(),
+                if sim.world().fault_report().is_some() {
+                    "on"
+                } else {
+                    "off"
+                },
+                rayon::current_num_threads()
+            );
+            let report = match checkpoint {
+                Some(path) => {
+                    let mut written = 0u32;
+                    let report = sim.run_checkpointed(|cp| {
+                        write_checkpoint(&path, cp);
+                        written += 1;
+                    });
+                    eprintln!("wrote {written} checkpoint(s) to {path}");
+                    report
+                }
+                None => sim.run(),
+            };
             emit(&report, json)
         }
         Command::Bench {
@@ -143,6 +192,24 @@ fn spec_of(workload: WorkloadArg, seed: u64) -> WorkloadSpec {
     match workload {
         WorkloadArg::Synthetic { n } => WorkloadSpec::Synthetic(SyntheticConfig::small(n, seed)),
         WorkloadArg::Azure(subset) => WorkloadSpec::azure(subset, seed),
+        WorkloadArg::TraceCsv { path } => {
+            let name = std::path::Path::new(&path)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "trace".into());
+            WorkloadSpec::TraceCsv { name, path }
+        }
+    }
+}
+
+/// Write one checkpoint atomically: serialize to a sibling temp file,
+/// then rename over the target so an interrupted write never leaves a
+/// truncated (unresumable) checkpoint behind.
+fn write_checkpoint(path: &str, cp: &Checkpoint) {
+    let tmp = format!("{path}.tmp");
+    let json = cp.to_json();
+    if let Err(e) = std::fs::write(&tmp, json).and_then(|()| std::fs::rename(&tmp, path)) {
+        panic!("cannot write checkpoint {path}: {e}");
     }
 }
 
@@ -415,6 +482,9 @@ mod tests {
             faults: false,
             json: false,
             jobs: None,
+            checkpoint: None,
+            checkpoint_every: None,
+            resume: None,
         };
         assert!(execute(cmd).is_ok());
     }
@@ -431,6 +501,9 @@ mod tests {
             faults: false,
             json: true,
             jobs: None,
+            checkpoint: None,
+            checkpoint_every: None,
+            resume: None,
         };
         assert!(execute(cmd).is_ok());
     }
@@ -499,6 +572,9 @@ mod tests {
             faults: false,
             json: false,
             jobs: None,
+            checkpoint: None,
+            checkpoint_every: None,
+            resume: None,
         };
         assert!(execute(cmd).is_ok());
     }
@@ -518,6 +594,9 @@ mod tests {
             faults: true,
             json: false,
             jobs: None,
+            checkpoint: None,
+            checkpoint_every: None,
+            resume: None,
         };
         assert!(execute(cmd).is_ok());
     }
@@ -562,6 +641,106 @@ mod tests {
             assert!(text.contains(schema), "{name} missing schema tag");
             std::fs::remove_file(path).unwrap();
         }
+    }
+
+    /// `run --checkpoint/--checkpoint-every` leaves a resumable snapshot
+    /// behind, and `run --resume` replays it to completion using only the
+    /// embedded recipe (no workload/seed/fel flags on the resume side).
+    #[test]
+    fn run_checkpoint_then_resume() {
+        let dir = std::env::temp_dir().join("risa-cli-checkpoint");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ckpt").to_string_lossy().to_string();
+        execute(Command::Run {
+            algo: Algorithm::Risa,
+            workload: WorkloadArg::Synthetic { n: 400 },
+            seed: 3,
+            scale: 1,
+            fel: None,
+            arrivals: None,
+            faults: false,
+            json: true,
+            jobs: None,
+            checkpoint: Some(path.clone()),
+            checkpoint_every: Some(2000.0),
+            resume: None,
+        })
+        .unwrap();
+        // The temp file must have been renamed away, not left behind.
+        assert!(!std::path::Path::new(&format!("{path}.tmp")).exists());
+        execute(Command::Run {
+            algo: Algorithm::Risa,
+            workload: WorkloadArg::Synthetic { n: 50 },
+            seed: 1,
+            scale: 1,
+            fel: None,
+            arrivals: None,
+            faults: false,
+            json: true,
+            jobs: None,
+            checkpoint: None,
+            checkpoint_every: None,
+            resume: Some(path.clone()),
+        })
+        .unwrap();
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn resume_missing_or_corrupt_checkpoint_fails() {
+        let cmd = |resume: String| Command::Run {
+            algo: Algorithm::Risa,
+            workload: WorkloadArg::Synthetic { n: 50 },
+            seed: 1,
+            scale: 1,
+            fel: None,
+            arrivals: None,
+            faults: false,
+            json: false,
+            jobs: None,
+            checkpoint: None,
+            checkpoint_every: None,
+            resume: Some(resume),
+        };
+        assert!(execute(cmd("/nonexistent/run.ckpt".into()))
+            .unwrap_err()
+            .contains("cannot read checkpoint"));
+        let dir = std::env::temp_dir().join("risa-cli-checkpoint-bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.ckpt").to_string_lossy().to_string();
+        std::fs::write(&path, "{not a checkpoint").unwrap();
+        assert!(execute(cmd(path.clone()))
+            .unwrap_err()
+            .contains("bad checkpoint"));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    /// `run --workload <file>.csv` streams the trace file chunk-by-chunk
+    /// through the same pipeline as the generator workloads.
+    #[test]
+    fn run_csv_trace_workload() {
+        let dir = std::env::temp_dir().join("risa-cli-csv");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv =
+            risa_workload::csv::to_csv(&spec_of(WorkloadArg::Synthetic { n: 60 }, 4).materialize());
+        let path = dir.join("mini.csv").to_string_lossy().to_string();
+        std::fs::write(&path, csv).unwrap();
+        execute(Command::Run {
+            algo: Algorithm::Risa,
+            workload: WorkloadArg::TraceCsv { path: path.clone() },
+            seed: 1,
+            scale: 1,
+            fel: None,
+            arrivals: None,
+            faults: false,
+            json: true,
+            jobs: None,
+            checkpoint: None,
+            checkpoint_every: None,
+            resume: None,
+        })
+        .unwrap();
+        std::fs::remove_file(path).unwrap();
     }
 
     #[test]

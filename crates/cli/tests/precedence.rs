@@ -1,0 +1,130 @@
+//! Flag-vs-env precedence matrix for the `run` command.
+//!
+//! Every run knob has a flag and an environment fallback: `--fel` /
+//! `RISA_FEL`, `--arrivals` / `RISA_ARRIVALS`, `--faults` / `RISA_FAULTS`,
+//! `--jobs` / `RISA_THREADS`. The contract is that an explicit flag
+//! always beats a conflicting env var. Before PR 9 that contract was only
+//! documented; here it is observed end-to-end by spawning the real binary
+//! with deliberately contradictory env + flags and reading the one
+//! `resolved: fel=… arrivals=… faults=… jobs=…` line the run prints to
+//! stderr. Spawning (rather than calling `execute`) matters because
+//! `RISA_THREADS` is read once per process when the resident pool first
+//! spins up — in-process tests would see a stale cached value.
+
+use std::collections::HashMap;
+use std::process::Command;
+
+const BIN: &str = env!("CARGO_BIN_EXE_risa-cli");
+
+/// Run `risa-cli run --workload synthetic --n 30 --seed 1 --json <extra>`
+/// with the given env vars; return (resolved map, stdout JSON).
+fn run_with(env: &[(&str, &str)], extra: &[&str]) -> (HashMap<String, String>, String) {
+    let mut cmd = Command::new(BIN);
+    cmd.args([
+        "run",
+        "--workload",
+        "synthetic",
+        "--n",
+        "30",
+        "--seed",
+        "1",
+        "--json",
+    ])
+    .args(extra)
+    // Start from a known-clean slate: the test runner's own env
+    // (e.g. CI's RISA_FEL matrix) must not leak into the child.
+    .env_remove("RISA_FEL")
+    .env_remove("RISA_ARRIVALS")
+    .env_remove("RISA_FAULTS")
+    .env_remove("RISA_THREADS");
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("spawn risa-cli");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        out.status.success(),
+        "run failed (env {env:?}, flags {extra:?}):\n{stderr}"
+    );
+    let line = stderr
+        .lines()
+        .find(|l| l.starts_with("resolved: "))
+        .unwrap_or_else(|| panic!("no resolved-config line in stderr:\n{stderr}"));
+    let resolved = line["resolved: ".len()..]
+        .split_whitespace()
+        .map(|kv| {
+            let (k, v) = kv.split_once('=').expect("key=value");
+            (k.to_string(), v.to_string())
+        })
+        .collect();
+    (resolved, String::from_utf8(out.stdout).unwrap())
+}
+
+/// With no flags, the env vars drive every knob — the fallback half of
+/// the contract, and the baseline the flag runs below must override.
+#[test]
+fn env_vars_drive_unflagged_runs() {
+    let (resolved, _) = run_with(
+        &[
+            ("RISA_FEL", "calendar"),
+            ("RISA_ARRIVALS", "streaming"),
+            ("RISA_FAULTS", "1"),
+            ("RISA_THREADS", "3"),
+        ],
+        &[],
+    );
+    assert_eq!(resolved["fel"], "calendar");
+    assert_eq!(resolved["arrivals"], "streaming");
+    assert_eq!(resolved["faults"], "on");
+    assert_eq!(resolved["jobs"], "3");
+}
+
+#[test]
+fn fel_flag_beats_env() {
+    let (resolved, _) = run_with(&[("RISA_FEL", "calendar")], &["--fel", "heap"]);
+    assert_eq!(resolved["fel"], "heap");
+}
+
+#[test]
+fn arrivals_flag_beats_env() {
+    let (resolved, _) = run_with(
+        &[("RISA_ARRIVALS", "streaming")],
+        &["--arrivals", "materialized"],
+    );
+    assert_eq!(resolved["arrivals"], "materialized");
+}
+
+#[test]
+fn faults_flag_beats_env() {
+    let (resolved, _) = run_with(&[("RISA_FAULTS", "off")], &["--faults"]);
+    assert_eq!(resolved["faults"], "on");
+}
+
+#[test]
+fn jobs_flag_beats_env() {
+    let (resolved, _) = run_with(&[("RISA_THREADS", "3")], &["--jobs", "2"]);
+    assert_eq!(resolved["jobs"], "2");
+}
+
+/// The resolved line is not just cosmetic: a flag-configured run and an
+/// env-configured run of the same resolved config produce byte-identical
+/// report JSON, and the conflicting env var demonstrably does not bleed
+/// into the flagged run's output.
+#[test]
+fn flagged_run_output_matches_env_run_of_same_config() {
+    // `sched_seconds` is wall-clock; everything else in the report is
+    // deterministic and must match byte-for-byte.
+    let stable = |json: String| -> String {
+        json.lines()
+            .filter(|l| !l.contains("sched_seconds"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let (_, via_env) = run_with(&[("RISA_FEL", "calendar")], &[]);
+    let (_, via_flag) = run_with(&[("RISA_FEL", "heap")], &["--fel", "calendar"]);
+    assert_eq!(
+        stable(via_env),
+        stable(via_flag),
+        "calendar-FEL report must not depend on how calendar was selected"
+    );
+}

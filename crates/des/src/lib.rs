@@ -77,7 +77,7 @@ pub use engine::{EventCtx, RunOutcome, Simulation, StepOutcome, World};
 pub use fel::{
     BinaryHeapFel, CalendarFel, EventKey, FelKind, FutureEventList, DEFAULT_BUCKET_TICKS,
 };
-pub use queue::{EventQueue, QueueEntry};
+pub use queue::{EventQueue, QueueEntry, QueueSnapshot};
 pub use stream::SortedStream;
 pub use time::{SimDuration, SimTime, TICKS_PER_UNIT};
 pub use trace::{EventTrace, TraceEntry};

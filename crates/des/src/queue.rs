@@ -290,6 +290,88 @@ impl<E> EventQueue<E> {
         self.arrivals = None;
         self.fel.clear();
     }
+
+    /// Capture the queue's dynamic state for a checkpoint.
+    ///
+    /// The future-event list is drained and immediately re-filled with the
+    /// same entries; since every backend pops in exact `(time, seq)` order
+    /// and accepts entries carrying their original sequence numbers, the
+    /// queue's observable behaviour is unchanged by taking a snapshot. The
+    /// arrival lane is recorded only by its `remaining` count — a restore
+    /// rebuilds the lane from the workload spec and fast-forwards it (see
+    /// [`EventQueue::fast_forward_arrivals`]), which re-executes the exact
+    /// accumulation the original run performed and therefore reproduces
+    /// the cursor bit-for-bit.
+    pub fn snapshot(&mut self) -> QueueSnapshot<E>
+    where
+        E: Clone,
+    {
+        let mut fel = Vec::with_capacity(self.fel.len());
+        while let Some(entry) = self.fel.pop() {
+            fel.push(entry);
+        }
+        for entry in &fel {
+            self.fel.push(entry.clone());
+        }
+        QueueSnapshot {
+            fel,
+            next_seq: self.next_seq,
+            peak_fel: self.peak_fel,
+            arrivals_remaining: self.stream_remaining(),
+        }
+    }
+
+    /// Discard arrivals from the static lane until exactly `remaining`
+    /// are left undelivered (restore path: the lane re-derives the same
+    /// times the original run consumed, so the cursor state afterwards is
+    /// bit-identical to the checkpointed run's).
+    ///
+    /// # Panics
+    /// If the lane holds fewer than `remaining` arrivals.
+    pub fn fast_forward_arrivals(&mut self, remaining: usize) {
+        assert!(
+            remaining <= self.stream_remaining(),
+            "fast_forward_arrivals: lane has {} arrivals, cannot leave {remaining}",
+            self.stream_remaining(),
+        );
+        while self.stream_remaining() > remaining {
+            self.pop_arrival()
+                .expect("arrival lane remaining() over-reported");
+        }
+    }
+
+    /// Replace the future-event list and counters with checkpointed state
+    /// (see [`EventQueue::snapshot`]). Entries keep the sequence numbers
+    /// they carried when first scheduled, so tie-breaking after the
+    /// restore matches the uninterrupted run exactly.
+    pub fn restore_fel(&mut self, entries: Vec<QueueEntry<E>>, next_seq: u64, peak_fel: usize) {
+        self.fel.clear();
+        for entry in entries {
+            debug_assert!(
+                entry.seq < next_seq,
+                "restored entry seq {} not covered by next_seq {next_seq}",
+                entry.seq
+            );
+            self.fel.push(entry);
+        }
+        self.next_seq = next_seq;
+        self.peak_fel = peak_fel;
+    }
+}
+
+/// Dynamic queue state captured by [`EventQueue::snapshot`]: the full
+/// future-event list (in pop order) plus the counters a restored queue
+/// must resume from. The arrival lane is represented only by its
+/// remaining count; restores rebuild it from the workload spec.
+pub struct QueueSnapshot<E> {
+    /// Future-event-list entries in exact `(time, seq)` pop order.
+    pub fel: Vec<QueueEntry<E>>,
+    /// Sequence counter the next scheduled event will receive.
+    pub next_seq: u64,
+    /// High-water mark of the future-event list so far.
+    pub peak_fel: usize,
+    /// Arrivals not yet delivered from the static lane.
+    pub arrivals_remaining: usize,
 }
 
 // Payload-opaque `Debug` (no `E: Debug` bound): summarizes both lanes.

@@ -35,11 +35,19 @@ pub struct EventTrace {
 impl EventTrace {
     /// Keep the most recent `capacity` events.
     pub fn new(capacity: usize) -> Self {
+        Self::with_base(capacity, 0)
+    }
+
+    /// Keep the most recent `capacity` events, numbering the first entry
+    /// `base` instead of 0 — used when tracing resumes mid-run (e.g. on a
+    /// simulation restored from a checkpoint) so entry sequence numbers
+    /// stay aligned with the global dispatch count.
+    pub fn with_base(capacity: usize, base: u64) -> Self {
         assert!(capacity > 0, "trace capacity must be positive");
         EventTrace {
             capacity,
             entries: VecDeque::with_capacity(capacity),
-            recorded: 0,
+            recorded: base,
         }
     }
 

@@ -17,6 +17,7 @@
 //! | `safety_comment` | every `unsafe` in `vendor/rayon` carries a `// SAFETY:` justification |
 //! | `no_unsafe` | no `unsafe` at all outside `vendor/rayon` |
 //! | `env_read` | no environment reads in engine crates (nothing env-dependent may reach `RunReport`) |
+//! | `checkpoint_purity` | checkpoint/restore code reads no ambient state (clock, env, entropy) — even in crates the scopes above exempt |
 //!
 //! A finding is suppressed with an in-source **waiver** that must carry a
 //! reason:

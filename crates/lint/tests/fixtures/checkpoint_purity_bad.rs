@@ -1,0 +1,19 @@
+//@ path: crates/cli/src/checkpoint.rs
+// True positive: checkpoint/restore code reading ambient state. The CLI
+// is exempt from `wall_clock` and `env_read`, so every finding here is
+// the dedicated `checkpoint_purity` rule (except the RNG lines, where
+// `rng_seed` composes with it).
+pub fn snapshot() {
+    let _stamp = std::time::Instant::now(); //~ ERROR checkpoint_purity
+    let _wall = std::time::SystemTime::now(); //~ ERROR checkpoint_purity
+    let _dir = std::env::var("RISA_CKPT_DIR"); //~ ERROR checkpoint_purity
+    let _os = std::env::var_os("RISA_CKPT_DIR"); //~ ERROR checkpoint_purity
+    let _built = option_env!("RISA_BUILD"); //~ ERROR checkpoint_purity
+}
+
+pub fn restore() {
+    let _rng = rand::thread_rng(); //~ ERROR checkpoint_purity
+    //~^ ERROR rng_seed
+    let _fresh = SmallRng::from_entropy(); //~ ERROR checkpoint_purity
+    //~^ ERROR rng_seed
+}

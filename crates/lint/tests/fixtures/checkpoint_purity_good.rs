@@ -1,0 +1,12 @@
+//@ path: crates/cli/src/checkpoint.rs
+// True negative: snapshot/restore as a pure function of simulation
+// state — serialize what the engine hands over, deserialize it back,
+// no clock, env, or entropy anywhere.
+pub fn snapshot(state: &str) -> String {
+    format!("{{\"version\":1,\"state\":{state}}}")
+}
+
+pub fn restore(json: &str) -> Option<&str> {
+    json.strip_prefix("{\"version\":1,\"state\":")?
+        .strip_suffix('}')
+}

@@ -11,37 +11,74 @@ use risa_network::NetworkConfig;
 use risa_photonics::PhotonicsConfig;
 use risa_sched::Algorithm;
 use risa_topology::{ResourceKind, TopologyConfig, ALL_RESOURCES};
-use risa_workload::{ShardSource, StreamingShards};
+use risa_workload::StreamingShards;
 use std::sync::Arc;
 
-/// Workload span seen by a streaming run: the sequential sum of per-shard
-/// interarrival totals — the same `f64` additions, in the same order, as
-/// the materialized prefix sum, so it is bit-identical to the last
-/// arrival time of the materialized trace.
-fn streamed_span(source: &dyn ShardSource) -> f64 {
-    let mut span = 0.0;
-    for shard in 0..source.num_shards() {
-        span += source.shard_arrivals(shard).1;
-    }
-    span
+/// Why a simulation could not be built. [`SimulationBuilder::try_build`]
+/// returns these; [`SimulationBuilder::build`] panics with their
+/// [`std::fmt::Display`] rendering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A pre-built [`WorkloadSpec::Trace`] is not sorted by arrival time.
+    /// Reachable in release builds (where `Workload::from_vms` only
+    /// debug-asserts order) via traces deserialized from tampered or
+    /// buggy JSON; rejected *typed and loud* rather than silently routed
+    /// through a slower arrival path that would mask the producer's bug.
+    UnsortedTrace {
+        /// Workload name.
+        workload: String,
+        /// Index of the first VM that arrives before its predecessor.
+        index: usize,
+    },
+    /// A VM's demand exceeds single-box capacity, violating the paper's
+    /// §2 placement assumption.
+    OversizedVm {
+        /// Offending VM id.
+        id: u32,
+        /// Workload name.
+        workload: String,
+    },
 }
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::UnsortedTrace { workload, index } => write!(
+                f,
+                "workload '{workload}' is not sorted by arrival (first violation at VM \
+                 index {index}); fix the trace producer"
+            ),
+            BuildError::OversizedVm { id, workload } => write!(
+                f,
+                "VM vm{id} in workload '{workload}' exceeds single-box capacity \
+                 (paper §2 assumption)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
 
 /// Builder for a [`DdcSimulation`]. Defaults reproduce the paper exactly:
 /// Table 1 topology, §3.1 network, §3.2 photonics, RISA, and a small
 /// synthetic workload.
+///
+/// Fields are `pub(crate)` so the checkpoint codec (`crate::checkpoint`)
+/// can persist a fully-resolved builder as a run recipe.
 #[derive(Debug, Clone)]
 pub struct SimulationBuilder {
-    cfg: SimConfig,
-    algorithm: Algorithm,
-    workload: WorkloadSpec,
-    timeline_interval: Option<f64>,
-    audit: bool,
-    fel: Option<FelKind>,
-    queue_capacity: Option<usize>,
-    sched_timing_batch: u32,
-    legacy_arrival_path: bool,
-    arrivals: Option<ArrivalMode>,
-    faults: Option<Option<FaultSpec>>,
+    pub(crate) cfg: SimConfig,
+    pub(crate) algorithm: Algorithm,
+    pub(crate) workload: WorkloadSpec,
+    pub(crate) timeline_interval: Option<f64>,
+    pub(crate) audit: bool,
+    pub(crate) fel: Option<FelKind>,
+    pub(crate) queue_capacity: Option<usize>,
+    pub(crate) sched_timing_batch: u32,
+    pub(crate) legacy_arrival_path: bool,
+    pub(crate) arrivals: Option<ArrivalMode>,
+    pub(crate) faults: Option<Option<FaultSpec>>,
+    pub(crate) checkpoint_every: Option<f64>,
 }
 
 impl SimulationBuilder {
@@ -59,7 +96,21 @@ impl SimulationBuilder {
             legacy_arrival_path: false,
             arrivals: None,
             faults: None,
+            checkpoint_every: None,
         }
+    }
+
+    /// Snapshot the run every `interval` simulated time units when driven
+    /// by [`DdcSimulation::run_checkpointed`] (see `crate::checkpoint`).
+    /// Plain [`DdcSimulation::run`] ignores the cadence; the interval is
+    /// carried in every checkpoint's recipe so resumed runs keep it.
+    pub fn checkpoint_every(mut self, interval: f64) -> Self {
+        assert!(
+            interval > 0.0 && interval.is_finite(),
+            "checkpoint interval must be positive and finite"
+        );
+        self.checkpoint_every = Some(interval);
+        self
     }
 
     /// Attach a fault-injection scenario: rack failure/repair, trunk-link
@@ -87,9 +138,11 @@ impl SimulationBuilder {
     /// generates the trace shard-by-shard *during* the run — peak memory
     /// O(resident VMs + 2 shards) instead of O(trace length) — and is
     /// byte-identical to the materialized path (pinned by
-    /// `tests/hot_path_differential.rs`). Requires a generator-backed
-    /// [`WorkloadSpec`]; pre-built traces (and the legacy arrival path)
-    /// silently use [`ArrivalMode::Materialized`] — check
+    /// `tests/hot_path_differential.rs`). Every [`WorkloadSpec`] streams:
+    /// generators regenerate shards, pre-built traces are served in
+    /// shard-sized slices, and CSV trace files are read chunk-by-chunk.
+    /// Only the legacy arrival path forces
+    /// [`ArrivalMode::Materialized`] — check
     /// [`DdcSimulation::arrival_mode`] for the mode actually in effect.
     pub fn arrivals(mut self, mode: ArrivalMode) -> Self {
         self.arrivals = Some(mode);
@@ -205,25 +258,63 @@ impl SimulationBuilder {
     /// stream ([`Simulation::preload_sorted`]): the trace is walked by
     /// index — no `Vec<VmRequest>` clone — and the future-event list only
     /// ever holds in-flight departures, O(resident VMs) instead of
-    /// O(trace length). An unsorted [`WorkloadSpec::Trace`] (possible in
-    /// release builds, where `Workload::from_vms` only debug-asserts
-    /// order) falls back to pushing arrivals through the FEL, which does
-    /// not require sortedness.
+    /// O(trace length).
+    ///
+    /// Panics on an invalid workload (unsorted pre-built trace, VM
+    /// exceeding single-box capacity) with the corresponding
+    /// [`BuildError`] message; use [`SimulationBuilder::try_build`] where
+    /// a typed error is preferable.
     pub fn build(self) -> DdcSimulation {
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`SimulationBuilder::build`], but invalid workloads surface
+    /// as a typed [`BuildError`] instead of a panic.
+    pub fn try_build(self) -> Result<DdcSimulation, BuildError> {
+        // Resolve every env-deferred knob *now* and remember the result:
+        // the recipe a checkpoint stores must be able to rebuild this run
+        // without consulting ambient state (env vars may differ — or be
+        // gone — by resume time; see `crate::checkpoint`).
         let fault_spec = match &self.faults {
             Some(choice) => choice.clone(),
             None => FaultSpec::from_env(),
         };
         let mode = self.arrivals.unwrap_or_else(ArrivalMode::from_env);
-        // The streaming pipeline needs a generator-backed spec (a
-        // pre-built trace has nothing to stream from) and is pointless
-        // under the legacy push-everything oracle path.
+        let backend = self.fel.unwrap_or_else(FelKind::from_env);
+        let mut recipe = self.clone();
+        recipe.faults = Some(fault_spec.clone());
+        recipe.arrivals = Some(mode);
+        recipe.fel = Some(backend);
+
+        // Typed rejection of unsorted pre-built traces. Generators emit
+        // sorted traces by construction and CSV parsing validates order,
+        // but a `Trace` deserialized from tampered or buggy JSON bypasses
+        // `Workload::from_vms`' debug_assert in release builds — catch it
+        // here on every build profile, before any arrival pipeline runs.
+        // The legacy oracle path is exempt: it pushes every arrival
+        // through the FEL, which orders them itself — accepting unsorted
+        // traces is that path's job.
+        if !self.legacy_arrival_path {
+            if let WorkloadSpec::Trace(w) = &self.workload {
+                let vms = w.vms();
+                if let Some(index) = (1..vms.len()).find(|&i| vms[i].arrival < vms[i - 1].arrival) {
+                    return Err(BuildError::UnsortedTrace {
+                        workload: w.name().to_string(),
+                        index,
+                    });
+                }
+            }
+        }
+
+        // The streaming pipeline serves every spec kind (generators
+        // regenerate shards; pre-built and on-disk traces are served in
+        // shard-sized chunks); only the legacy push-everything oracle
+        // path forces materialization.
         let streaming_source = if mode == ArrivalMode::Streaming && !self.legacy_arrival_path {
             self.workload.shard_source()
         } else {
             None
         };
-        let backend = self.fel.unwrap_or_else(FelKind::from_env);
         let queue =
             EventQueue::with_capacity_and_backend(self.queue_capacity.unwrap_or(0), backend);
 
@@ -237,40 +328,37 @@ impl SimulationBuilder {
             let mut world = DdcWorld::new_streaming(self.cfg, self.algorithm, cursor);
             self.prime(&mut world);
             if let Some(spec) = fault_spec {
-                world.enable_faults(spec, streamed_span(&*source));
+                world.enable_faults(spec, source.span_units());
             }
             let mut sim = Simulation::with_queue(world, queue);
             sim.attach_arrivals(Box::new(StreamingArrivals::new(source)));
             Self::seed_faults(&mut sim);
-            return DdcSimulation {
+            return Ok(DdcSimulation {
                 sim,
                 arrival_mode: ArrivalMode::Streaming,
-            };
+                recipe,
+                checkpoint_every: self.checkpoint_every,
+            });
         }
 
         let workload = self.workload.materialize();
-        workload
-            .validate_fits(&self.cfg.topology)
-            .unwrap_or_else(|vm| {
-                panic!(
-                    "VM {} exceeds single-box capacity (paper §2 assumption)",
-                    vm.id
-                )
+        if let Err(vm) = workload.validate_fits(&self.cfg.topology) {
+            return Err(BuildError::OversizedVm {
+                id: vm.id.0,
+                workload: workload.name().to_string(),
             });
-        let sorted = workload
-            .vms()
-            .windows(2)
-            .all(|w| w[0].arrival <= w[1].arrival);
-        // Every generator emits sorted traces and `Workload::from_vms`
-        // debug-asserts order, so an unsorted workload here means a trace
-        // deserialized from tampered/buggy JSON — surface it loudly in
-        // debug builds instead of silently taking the slow FEL fallback
-        // below (which would mask the upstream ordering bug).
+        }
+        // After the typed Trace check above, every materialized workload
+        // reaching the sorted-preload lane is sorted (generators by
+        // construction, CSV by validation); the legacy lane pushes
+        // through the FEL and tolerates any order.
         debug_assert!(
-            self.legacy_arrival_path || sorted,
-            "workload '{}' is not sorted by arrival; fix the trace producer \
-             (release builds fall back to routing arrivals through the FEL)",
-            workload.name()
+            self.legacy_arrival_path
+                || workload
+                    .vms()
+                    .windows(2)
+                    .all(|w| w[0].arrival <= w[1].arrival),
+            "generator produced an unsorted trace"
         );
         let arrivals = crate::world::arrival_events(&workload);
         let span = workload.vms().last().map_or(0.0, |vm| vm.arrival);
@@ -280,7 +368,7 @@ impl SimulationBuilder {
             world.enable_faults(spec, span);
         }
         let mut sim = Simulation::with_queue(world, queue);
-        if self.legacy_arrival_path || !sorted {
+        if self.legacy_arrival_path {
             for (at, event) in arrivals {
                 sim.schedule(at, event);
             }
@@ -288,10 +376,12 @@ impl SimulationBuilder {
             sim.preload_sorted(arrivals);
         }
         Self::seed_faults(&mut sim);
-        DdcSimulation {
+        Ok(DdcSimulation {
             sim,
             arrival_mode: ArrivalMode::Materialized,
-        }
+            recipe,
+            checkpoint_every: self.checkpoint_every,
+        })
     }
 
     /// Push each fault chain's first onset through the FEL. Must run
@@ -329,14 +419,29 @@ impl Default for SimulationBuilder {
 /// summarizes.
 #[derive(Debug)]
 pub struct DdcSimulation {
-    sim: Simulation<DdcWorld>,
-    arrival_mode: ArrivalMode,
+    pub(crate) sim: Simulation<DdcWorld>,
+    pub(crate) arrival_mode: ArrivalMode,
+    /// The fully-resolved builder that produced this run: every
+    /// env-deferred knob pinned at build time, so a checkpoint's embedded
+    /// recipe can rebuild the identical pristine run without consulting
+    /// ambient state (see [`crate::checkpoint`]).
+    pub(crate) recipe: SimulationBuilder,
+    /// Checkpoint cadence for [`DdcSimulation::run_checkpointed`], in
+    /// simulated time units.
+    pub(crate) checkpoint_every: Option<f64>,
 }
 
 impl DdcSimulation {
     /// Run every event and produce the run report.
     pub fn run(&mut self) -> RunReport {
         self.sim.run_to_completion();
+        self.finish()
+    }
+
+    /// Post-run invariant checks + flushes, shared by every driver that
+    /// drains the queue ([`DdcSimulation::run`] and the checkpointing
+    /// loop in [`crate::checkpoint`]).
+    pub(crate) fn finish(&mut self) -> RunReport {
         debug_assert_eq!(self.sim.clamped_schedules(), 0);
         // Drained queue ⇒ every admitted VM departed and released its
         // slot (the sparse store's residency-bounded-memory invariant).
@@ -440,9 +545,10 @@ impl DdcSimulation {
         self.sim.queue().backend()
     }
 
-    /// The arrival pipeline actually in effect (streaming requests fall
-    /// back to [`ArrivalMode::Materialized`] on pre-built traces and
-    /// under the legacy arrival path).
+    /// The arrival pipeline actually in effect. Every workload spec
+    /// streams (generators, pre-built traces, and on-disk CSV traces
+    /// alike); only the legacy arrival path forces
+    /// [`ArrivalMode::Materialized`].
     pub fn arrival_mode(&self) -> ArrivalMode {
         self.arrival_mode
     }
@@ -558,22 +664,85 @@ mod tests {
     }
 
     #[test]
-    fn streaming_falls_back_to_materialized_on_traces() {
-        let trace = WorkloadSpec::Trace(WorkloadSpec::synthetic(20, 2).materialize());
-        let sim = SimulationBuilder::new()
-            .workload(trace)
-            .arrivals(ArrivalMode::Streaming)
-            .build();
-        assert_eq!(sim.arrival_mode(), ArrivalMode::Materialized);
-        assert_eq!(sim.peak_buffered_arrivals(), None);
+    fn pre_built_traces_stream_and_match_their_materialized_run() {
+        // A pre-built trace streams through TraceShards — no silent
+        // fallback to the materialized path — and the result is
+        // byte-identical to running the same trace materialized.
+        let w = WorkloadSpec::synthetic(300, 2).materialize();
+        let run = |mode| {
+            let mut sim = SimulationBuilder::new()
+                .workload(WorkloadSpec::Trace(w.clone()))
+                .arrivals(mode)
+                .build();
+            let mut r = sim.run();
+            r.sched_seconds = 0.0;
+            (sim.arrival_mode(), r)
+        };
+        let (streamed_mode, streamed) = run(ArrivalMode::Streaming);
+        let (materialized_mode, materialized) = run(ArrivalMode::Materialized);
+        assert_eq!(streamed_mode, ArrivalMode::Streaming);
+        assert_eq!(materialized_mode, ArrivalMode::Materialized);
+        assert_eq!(streamed, materialized);
 
-        // …and the legacy oracle path always materializes too.
+        // Only the legacy oracle path still forces materialization.
         let sim = SimulationBuilder::new()
             .workload(WorkloadSpec::synthetic(20, 2))
             .arrivals(ArrivalMode::Streaming)
             .legacy_arrival_path(true)
             .build();
         assert_eq!(sim.arrival_mode(), ArrivalMode::Materialized);
+        assert_eq!(sim.peak_buffered_arrivals(), None);
+    }
+
+    /// An unsorted trace — only reachable by deserializing tampered or
+    /// buggy JSON, since `Workload::from_vms` merely debug-asserts order —
+    /// must be rejected with a typed error in *every* build profile.
+    /// Regression for the release-mode hole where the old code silently
+    /// fell back to routing arrivals through the FEL.
+    #[test]
+    fn unsorted_trace_rejected_with_typed_error_in_release_too() {
+        use serde::{Deserialize as _, Serialize as _, Value};
+
+        let good = WorkloadSpec::synthetic(10, 3).materialize();
+        // Tamper via serde: swap two arrivals in the serialized tree so
+        // the workload never passes through `from_vms` ordering checks.
+        let mut tree = good.to_value();
+        {
+            let Value::Map(fields) = &mut tree else {
+                panic!("workload serializes as a map")
+            };
+            let (_, vms) = fields
+                .iter_mut()
+                .find(|(k, _)| k == "vms")
+                .expect("workload map has a vms field");
+            let Value::Seq(items) = vms else {
+                panic!("vms serializes as a sequence")
+            };
+            let arrival = |item: &Value| item.get("arrival").unwrap().clone();
+            let (a3, a7) = (arrival(&items[3]), arrival(&items[7]));
+            let mut set = |i: usize, val: Value| {
+                let Value::Map(vm) = &mut items[i] else {
+                    panic!("VM serializes as a map")
+                };
+                vm.iter_mut().find(|(k, _)| k == "arrival").unwrap().1 = val;
+            };
+            set(3, a7);
+            set(7, a3);
+        }
+        let tampered = risa_workload::Workload::from_value(&tree).unwrap();
+
+        let err = SimulationBuilder::new()
+            .workload(WorkloadSpec::Trace(tampered))
+            .try_build()
+            .expect_err("tampered trace must be rejected");
+        match &err {
+            BuildError::UnsortedTrace { workload, index } => {
+                assert_eq!(workload, "synthetic");
+                assert_eq!(*index, 4, "first out-of-order VM index");
+            }
+            other => panic!("expected UnsortedTrace, got {other:?}"),
+        }
+        assert!(err.to_string().contains("not sorted by arrival"));
     }
 
     #[test]

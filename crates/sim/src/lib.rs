@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 mod builder;
+mod checkpoint;
 mod config;
 pub mod experiments;
 mod faults;
@@ -38,7 +39,8 @@ mod streaming;
 mod timeline;
 mod world;
 
-pub use builder::{DdcSimulation, SimulationBuilder};
+pub use builder::{BuildError, DdcSimulation, SimulationBuilder};
+pub use checkpoint::{Checkpoint, CHECKPOINT_VERSION};
 pub use config::{LatencyConfig, SimConfig};
 pub use faults::{FaultReport, FaultSpec};
 pub use report::{host_info, peak_rss_bytes, ExperimentReport, RunReport};
@@ -48,5 +50,5 @@ pub use timeline::{Timeline, TimelinePoint};
 pub use world::{DdcWorld, SimEvent, DEFAULT_SCHED_TIMING_BATCH};
 
 // Re-export the vocabulary types callers need alongside the builder.
-pub use risa_des::FelKind;
+pub use risa_des::{FelKind, RunOutcome};
 pub use risa_sched::Algorithm;

@@ -2,7 +2,8 @@
 
 use risa_workload::azure::AzureProcess;
 use risa_workload::{
-    AzureShards, AzureSubset, ShardSource, SyntheticConfig, SyntheticShards, Workload,
+    AzureShards, AzureSubset, CsvFileShards, ShardSource, SyntheticConfig, SyntheticShards,
+    TraceShards, Workload,
 };
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -21,6 +22,15 @@ pub enum WorkloadSpec {
     },
     /// A pre-built trace (e.g. loaded from JSON).
     Trace(Workload),
+    /// A CSV trace file on disk, read in shard-sized chunks — the whole
+    /// trace never needs to fit in memory (see
+    /// [`risa_workload::CsvFileShards`]).
+    TraceCsv {
+        /// Workload label for reports.
+        name: String,
+        /// Path to the CSV file ([`risa_workload::csv`] schema).
+        path: String,
+    },
 }
 
 impl WorkloadSpec {
@@ -52,16 +62,26 @@ impl WorkloadSpec {
             WorkloadSpec::Synthetic(cfg) => Workload::synthetic(cfg),
             WorkloadSpec::Azure { subset, seed } => Workload::azure(*subset, *seed),
             WorkloadSpec::Trace(w) => w.clone(),
+            WorkloadSpec::TraceCsv { name, path } => {
+                let csv = std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| panic!("cannot read trace file '{path}': {e}"));
+                risa_workload::csv::from_csv(name, &csv)
+                    .unwrap_or_else(|e| panic!("trace file '{path}': {e}"))
+            }
         }
     }
 
-    /// The spec as a lazy per-shard generator, when it is backed by one —
-    /// the handle [`crate::ArrivalMode::Streaming`] runs on. `None` for
-    /// pre-built traces, which have nothing to generate lazily.
+    /// The spec as a lazy per-shard source — the handle
+    /// [`crate::ArrivalMode::Streaming`] runs on. Generator-backed specs
+    /// regenerate each shard from its RNG streams; pre-built traces are
+    /// *served* in shard-sized slices ([`risa_workload::TraceShards`]),
+    /// and on-disk CSV traces are read chunk-by-chunk
+    /// ([`risa_workload::CsvFileShards`]), so every spec streams.
     ///
-    /// The source generates the *same trace* [`WorkloadSpec::materialize`]
-    /// produces (shard-for-shard the identical code and RNG streams), so
-    /// consuming it through a cursor is byte-identical to materializing.
+    /// The source yields the *same trace* [`WorkloadSpec::materialize`]
+    /// produces, bit-for-bit, so consuming it through a cursor is
+    /// byte-identical to materializing. Panics (loudly, never a silent
+    /// fallback) if a CSV trace file is missing or invalid.
     pub fn shard_source(&self) -> Option<Arc<dyn ShardSource>> {
         match self {
             WorkloadSpec::Synthetic(cfg) => Some(Arc::new(SyntheticShards::new(cfg))),
@@ -70,7 +90,11 @@ impl WorkloadSpec {
                 *seed,
                 AzureProcess::default(),
             ))),
-            WorkloadSpec::Trace(_) => None,
+            WorkloadSpec::Trace(w) => Some(Arc::new(TraceShards::new(w.clone()))),
+            WorkloadSpec::TraceCsv { name, path } => Some(Arc::new(
+                CsvFileShards::open(name.clone(), path)
+                    .unwrap_or_else(|e| panic!("trace file '{path}': {e}")),
+            )),
         }
     }
 }
@@ -99,23 +123,50 @@ mod tests {
         assert_eq!(spec.materialize(), w);
     }
 
-    /// The shard source must regenerate exactly the trace `materialize`
+    /// The shard source must yield exactly the trace `materialize`
     /// yields — the foundation of the streaming/materialized identity.
+    /// Every spec kind streams, including pre-built traces.
     #[test]
     fn shard_source_reproduces_materialize() {
         for spec in [
             WorkloadSpec::synthetic(5000, 21),
             WorkloadSpec::azure(AzureSubset::N3000, 8),
+            WorkloadSpec::Trace(WorkloadSpec::synthetic(5000, 21).materialize()),
         ] {
-            let source = spec.shard_source().expect("generator-backed");
+            let source = spec.shard_source().expect("every spec kind streams");
             assert_eq!(
                 risa_workload::shard::materialize(&*source),
                 spec.materialize().vms()
             );
             assert_eq!(source.label(), spec.materialize().name());
         }
-        let trace = WorkloadSpec::Trace(WorkloadSpec::synthetic(3, 1).materialize());
-        assert!(trace.shard_source().is_none());
+    }
+
+    #[test]
+    fn trace_csv_spec_streams_and_materializes_identically() {
+        let w = WorkloadSpec::synthetic(500, 4).materialize();
+        let path = std::env::temp_dir().join(format!("risa_spec_trace_{}.csv", std::process::id()));
+        std::fs::write(&path, risa_workload::csv::to_csv(&w)).unwrap();
+        let spec = WorkloadSpec::TraceCsv {
+            name: "disk".into(),
+            path: path.display().to_string(),
+        };
+        let materialized = spec.materialize();
+        assert_eq!(materialized.name(), "disk");
+        assert_eq!(materialized.vms(), w.vms());
+        let source = spec.shard_source().expect("CSV traces stream");
+        assert_eq!(risa_workload::shard::materialize(&*source), w.vms());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot read trace file")]
+    fn trace_csv_spec_missing_file_fails_loudly() {
+        WorkloadSpec::TraceCsv {
+            name: "x".into(),
+            path: "/nonexistent/risa/spec.csv".into(),
+        }
+        .materialize();
     }
 
     #[test]

@@ -38,10 +38,11 @@ use std::sync::Arc;
 pub enum ArrivalMode {
     /// Generate the whole trace before the run (the oracle path).
     Materialized,
-    /// Generate shard-by-shard during the run: peak memory is
-    /// O(resident VMs + 2 shards) instead of O(trace length). Requires a
-    /// generator-backed [`crate::WorkloadSpec`] (synthetic or Azure);
-    /// pre-built traces fall back to [`ArrivalMode::Materialized`].
+    /// Feed arrivals shard-by-shard during the run: peak memory is
+    /// O(resident VMs + 2 shards) instead of O(trace length). Every
+    /// [`crate::WorkloadSpec`] streams — generators regenerate shards,
+    /// pre-built traces are served in shard-sized slices, and CSV trace
+    /// files are read chunk-by-chunk from disk.
     Streaming,
 }
 

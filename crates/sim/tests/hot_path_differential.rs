@@ -23,12 +23,21 @@
 //! too. The faults-free legs pin `.faults_off()` so the `RISA_FAULTS=1`
 //! CI leg cannot change what they measure.
 //!
+//! PR 9 added the checkpoint/restore lane: a run snapshotted at a
+//! simulated time `T`, serialized to JSON, and resumed must replay into
+//! the **byte-identical** report and event dispatch order the
+//! uninterrupted run produces — across FEL backends, arrival pipelines,
+//! pool sizes, and faults on/off. A second new lane drives the chunked
+//! CSV trace-file reader (`WorkloadSpec::TraceCsv`) through the
+//! streaming pipeline and pins it to the generator run's bytes.
+//!
 //! CI runs this file under `RISA_FEL=heap` / `RISA_FEL=calendar`,
 //! `RISA_ARRIVALS=streaming` and `RISA_FAULTS=1` so no env toggle can rot.
 
 use rayon::with_num_threads;
 use risa_sim::{
-    Algorithm, ArrivalMode, FaultSpec, FelKind, RunReport, SimulationBuilder, WorkloadSpec,
+    Algorithm, ArrivalMode, Checkpoint, DdcSimulation, FaultSpec, FelKind, RunOutcome, RunReport,
+    SimulationBuilder, WorkloadSpec,
 };
 use risa_workload::{AzureSubset, SyntheticConfig};
 
@@ -247,6 +256,185 @@ fn churn_scenario_is_byte_identical_across_modes_and_jobs() {
             }
         }
     }
+}
+
+/// Trace capacity large enough that no lane of the checkpoint
+/// differential ever evicts — prefix/suffix stitching needs every entry.
+const TRACE_CAP: usize = 64_000;
+
+fn build_cfg(
+    spec: &WorkloadSpec,
+    fel: FelKind,
+    arrivals: ArrivalMode,
+    faults: bool,
+) -> DdcSimulation {
+    let b = SimulationBuilder::new()
+        .algorithm(Algorithm::Risa)
+        .workload(spec.clone())
+        .fel(fel)
+        .arrivals(arrivals);
+    if faults {
+        b.faults(FaultSpec::canonical())
+    } else {
+        b.faults_off()
+    }
+    .build()
+}
+
+/// Full uninterrupted run: canonical report JSON, every dispatched event
+/// rendered, and the simulated duration (for picking a mid-run horizon).
+fn uninterrupted(
+    spec: &WorkloadSpec,
+    fel: FelKind,
+    arrivals: ArrivalMode,
+    faults: bool,
+) -> (String, Vec<String>, f64) {
+    let mut sim = build_cfg(spec, fel, arrivals, faults);
+    sim.enable_trace(TRACE_CAP);
+    let mut report = sim.run();
+    report.sched_seconds = 0.0;
+    let trace = sim.trace().expect("trace enabled");
+    assert_eq!(trace.recorded(), trace.len() as u64, "trace evicted");
+    let events = trace.entries().map(ToString::to_string).collect();
+    (
+        serde_json::to_string(&report).expect("report serializes"),
+        events,
+        report.sim_duration,
+    )
+}
+
+/// The same run split in two: run to `t`, checkpoint, serialize to JSON,
+/// load it back, resume, run to completion. Returns the report and the
+/// stitched prefix + suffix event sequence.
+fn checkpointed(
+    spec: &WorkloadSpec,
+    fel: FelKind,
+    arrivals: ArrivalMode,
+    faults: bool,
+    t: f64,
+) -> (String, Vec<String>) {
+    let mut first = build_cfg(spec, fel, arrivals, faults);
+    first.enable_trace(TRACE_CAP);
+    assert_eq!(
+        first.run_until(t),
+        RunOutcome::HorizonReached,
+        "horizon must land mid-run"
+    );
+    let json = first.checkpoint().to_json();
+    let cp = Checkpoint::from_json(&json).expect("checkpoint JSON round-trips");
+    let mut resumed = cp.resume();
+    resumed.enable_trace(TRACE_CAP);
+    let mut report = resumed.run();
+    report.sched_seconds = 0.0;
+
+    let prefix = first.trace().expect("trace enabled");
+    assert_eq!(prefix.recorded(), prefix.len() as u64, "prefix evicted");
+    let suffix = resumed.trace().expect("trace enabled");
+    assert_eq!(
+        suffix.recorded() - cp.events_dispatched(),
+        suffix.len() as u64,
+        "suffix evicted"
+    );
+    let mut events: Vec<String> = prefix.entries().map(ToString::to_string).collect();
+    events.extend(suffix.entries().map(ToString::to_string));
+    (
+        serde_json::to_string(&report).expect("report serializes"),
+        events,
+    )
+}
+
+/// PR 9 tentpole acceptance: checkpoint-at-T / JSON round-trip / resume
+/// replays into the uninterrupted run's exact bytes — report JSON **and**
+/// the full event sequence (prefix recorded before the snapshot plus
+/// suffix recorded after resume, with continuous sequence numbers) — on
+/// both canonical traces, across both FEL backends, both arrival
+/// pipelines, 1 vs 8 pool threads, and faults off/on.
+#[test]
+fn checkpoint_resume_is_byte_identical_across_modes_and_jobs() {
+    for (name, spec) in canonical_specs() {
+        for faults in [false, true] {
+            // One uninterrupted baseline per fault setting; cross-config
+            // byte-identity of uninterrupted runs is pinned by the other
+            // differential legs, so every resumed run can compare against
+            // this single reference transitively.
+            let (base_report, base_events, duration) = with_num_threads(1, || {
+                uninterrupted(&spec, FelKind::Heap, ArrivalMode::Materialized, faults)
+            });
+            let t = duration * 0.4;
+            for fel in FelKind::ALL {
+                for arrivals in [ArrivalMode::Materialized, ArrivalMode::Streaming] {
+                    for jobs in [1usize, 8] {
+                        let (report, events) = with_num_threads(jobs, || {
+                            checkpointed(&spec, fel, arrivals, faults, t)
+                        });
+                        assert_eq!(
+                            base_report, report,
+                            "{name}/{fel}/{arrivals:?}/faults={faults}/jobs={jobs}: \
+                             resumed RunReport diverged from the uninterrupted run"
+                        );
+                        assert_eq!(
+                            base_events, events,
+                            "{name}/{fel}/{arrivals:?}/faults={faults}/jobs={jobs}: \
+                             resumed event sequence diverged from the uninterrupted run"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// PR 9 streaming-reader acceptance: a `WorkloadSpec::TraceCsv` run reads
+/// the trace file in shard-sized chunks through the streaming pipeline —
+/// `arrival_mode()` reports `Streaming`, peak buffered VMs stay bounded
+/// by two shards — and its report and dispatch order are byte-identical
+/// to the generator-backed run that produced the file.
+#[test]
+fn trace_csv_file_streams_chunked_and_matches_generator_run() {
+    let spec = WorkloadSpec::Synthetic(SyntheticConfig::small(6000, 9));
+    let (base_json, base_order) = run_mode(
+        &spec,
+        Algorithm::Risa,
+        false,
+        FelKind::Heap,
+        ArrivalMode::Materialized,
+    );
+
+    let w = spec.materialize();
+    let path = std::env::temp_dir().join(format!("risa_diff_trace_{}.csv", std::process::id()));
+    std::fs::write(&path, risa_workload::csv::to_csv(&w)).expect("write trace file");
+    let csv_spec = WorkloadSpec::TraceCsv {
+        name: w.name().to_string(),
+        path: path.display().to_string(),
+    };
+
+    for fel in FelKind::ALL {
+        let (json, order) = run_mode(
+            &csv_spec,
+            Algorithm::Risa,
+            false,
+            fel,
+            ArrivalMode::Streaming,
+        );
+        assert_eq!(base_json, json, "{fel}: TraceCsv streaming report diverged");
+        assert_eq!(base_order, order, "{fel}: TraceCsv dispatch order diverged");
+    }
+
+    let mut sim = build_cfg(&csv_spec, FelKind::Heap, ArrivalMode::Streaming, false);
+    assert_eq!(
+        sim.arrival_mode(),
+        ArrivalMode::Streaming,
+        "CSV trace files must stream, not fall back to materialized"
+    );
+    sim.run();
+    let peak = sim
+        .peak_buffered_arrivals()
+        .expect("streaming runs report buffered high-water mark");
+    assert!(
+        peak <= 2 * risa_workload::shard::SHARD_SIZE as usize,
+        "peak buffered VMs {peak} exceeds the two-shard bound"
+    );
+    std::fs::remove_file(&path).ok();
 }
 
 /// `RISA_ARRIVALS` (read when the builder gets no explicit `.arrivals()`)

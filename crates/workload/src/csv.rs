@@ -6,8 +6,14 @@
 //!
 //! ```text
 //! id,cpu_cores,ram_gb,storage_gb,arrival,lifetime
-//! 0,8,16,128,12.5,6300
+//! 0,8,16,128,12.5,6300.0
 //! ```
+//!
+//! Times are written with `{:?}` — Rust's shortest-round-trip float
+//! rendering — so a CSV round trip preserves every `f64` bit-for-bit
+//! (asserted by `csv_round_trip_is_bit_exact` below). This matters for
+//! the streaming trace reader and checkpoint paths, whose byte-identity
+//! guarantees assume the trace survives interchange exactly.
 
 use crate::vm::{VmId, VmRequest, Workload};
 
@@ -77,12 +83,52 @@ pub fn to_csv(w: &Workload) -> String {
     out.push_str(HEADER);
     out.push('\n');
     for vm in w.vms() {
+        // `{:?}` (shortest round-trip rendering) for the two floats:
+        // `{}` Display can render a value whose re-parse differs in the
+        // last ulp, which would silently break trace byte-identity.
         out.push_str(&format!(
-            "{},{},{},{},{},{}\n",
+            "{},{},{},{},{:?},{:?}\n",
             vm.id.0, vm.cpu_cores, vm.ram_gb, vm.storage_gb, vm.arrival, vm.lifetime
         ));
     }
     out
+}
+
+/// Parse one data row (no header, already trimmed, non-empty) into a
+/// [`VmRequest`]. `line` is the 1-based line number used in errors.
+///
+/// Shared by [`from_csv`] and the chunked trace-file reader
+/// ([`crate::CsvFileShards`]), so both paths accept exactly the same
+/// rows. The sorted-arrivals check stays with the callers because it
+/// needs cross-row state.
+pub(crate) fn parse_row(row: &str, line: usize) -> Result<VmRequest, CsvError> {
+    let fields: Vec<&str> = row.split(',').collect();
+    if fields.len() != 6 {
+        return Err(CsvError::BadArity { line });
+    }
+    fn num<T: std::str::FromStr>(
+        s: &str,
+        line: usize,
+        column: &'static str,
+    ) -> Result<T, CsvError> {
+        s.trim()
+            .parse()
+            .map_err(|_| CsvError::BadField { line, column })
+    }
+    let vm = VmRequest {
+        id: VmId(num(fields[0], line, "id")?),
+        cpu_cores: num(fields[1], line, "cpu_cores")?,
+        ram_gb: num(fields[2], line, "ram_gb")?,
+        storage_gb: num(fields[3], line, "storage_gb")?,
+        arrival: num(fields[4], line, "arrival")?,
+        lifetime: num(fields[5], line, "lifetime")?,
+    };
+    for (value, column) in [(vm.arrival, "arrival"), (vm.lifetime, "lifetime")] {
+        if !value.is_finite() || value < 0.0 {
+            return Err(CsvError::BadValue { line, column });
+        }
+    }
+    Ok(vm)
 }
 
 /// Parse a workload from CSV produced by [`to_csv`] (or hand-written in
@@ -101,32 +147,7 @@ pub fn from_csv(name: &str, csv: &str) -> Result<Workload, CsvError> {
         if row.is_empty() {
             continue;
         }
-        let fields: Vec<&str> = row.split(',').collect();
-        if fields.len() != 6 {
-            return Err(CsvError::BadArity { line });
-        }
-        fn num<T: std::str::FromStr>(
-            s: &str,
-            line: usize,
-            column: &'static str,
-        ) -> Result<T, CsvError> {
-            s.trim()
-                .parse()
-                .map_err(|_| CsvError::BadField { line, column })
-        }
-        let vm = VmRequest {
-            id: VmId(num(fields[0], line, "id")?),
-            cpu_cores: num(fields[1], line, "cpu_cores")?,
-            ram_gb: num(fields[2], line, "ram_gb")?,
-            storage_gb: num(fields[3], line, "storage_gb")?,
-            arrival: num(fields[4], line, "arrival")?,
-            lifetime: num(fields[5], line, "lifetime")?,
-        };
-        for (value, column) in [(vm.arrival, "arrival"), (vm.lifetime, "lifetime")] {
-            if !value.is_finite() || value < 0.0 {
-                return Err(CsvError::BadValue { line, column });
-            }
-        }
+        let vm = parse_row(row, line)?;
         if vm.arrival < last_arrival {
             return Err(CsvError::NotSorted { line });
         }
@@ -146,6 +167,55 @@ mod tests {
         let w = Workload::synthetic(&SyntheticConfig::small(60, 3));
         let back = from_csv("synthetic", &to_csv(&w)).unwrap();
         assert_eq!(w, back);
+    }
+
+    /// Regression for the `{}`-formatted writer: every `f64` bit pattern
+    /// that can legally appear in a trace (subnormals, extremes, values
+    /// with no short decimal form) must survive a CSV round trip exactly.
+    #[test]
+    fn csv_round_trip_is_bit_exact() {
+        let times = [
+            0.0,
+            0.1 + 0.2, // 0.30000000000000004 — classic shortest-repr case
+            f64::MIN_POSITIVE,
+            5e-324, // smallest subnormal
+            1.5e-10,
+            12.5,
+            6300.000000000001,
+            1e300,
+            f64::MAX,
+        ];
+        let mut sorted: Vec<f64> = times.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let vms: Vec<VmRequest> = sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| VmRequest {
+                id: VmId(i as u32),
+                cpu_cores: 1,
+                ram_gb: 2,
+                storage_gb: 4,
+                arrival: t,
+                lifetime: times[i],
+            })
+            .collect();
+        let w = Workload::from_vms("bits", vms);
+        let back = from_csv("bits", &to_csv(&w)).unwrap();
+        assert_eq!(back.len(), w.len());
+        for (a, b) in w.vms().iter().zip(back.vms()) {
+            assert_eq!(
+                a.arrival.to_bits(),
+                b.arrival.to_bits(),
+                "arrival {} not bit-identical after round trip",
+                a.arrival
+            );
+            assert_eq!(
+                a.lifetime.to_bits(),
+                b.lifetime.to_bits(),
+                "lifetime {} not bit-identical after round trip",
+                a.lifetime
+            );
+        }
     }
 
     #[test]

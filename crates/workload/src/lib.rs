@@ -60,6 +60,7 @@ pub mod shard;
 mod stats;
 mod streaming;
 mod synthetic;
+mod trace;
 mod vm;
 
 pub use azure::{AzureShards, AzureSubset};
@@ -67,4 +68,5 @@ pub use shard::ShardSource;
 pub use stats::WorkloadStats;
 pub use streaming::StreamingShards;
 pub use synthetic::{LifetimeModel, SyntheticConfig, SyntheticShards};
+pub use trace::{CsvFileShards, TraceFileError, TraceShards};
 pub use vm::{VmId, VmRequest, Workload};

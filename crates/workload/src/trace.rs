@@ -1,0 +1,412 @@
+//! Pre-built traces as shard sources — in-memory and file-backed.
+//!
+//! Generated workloads stream through [`crate::ShardSource`] because every
+//! shard is *derivable* on demand from per-shard RNG streams. A pre-built
+//! trace (a [`Workload`] literal, or a CSV file on disk) has no generator
+//! to re-run — but it can still be **served** in shard-sized chunks, which
+//! is all the streaming arrival pipeline needs. This module provides the
+//! two adapters:
+//!
+//! * [`TraceShards`] slices an in-memory [`Workload`] into shards; and
+//! * [`CsvFileShards`] is the chunked trace-file reader: one validating
+//!   scan at open records the byte offset of each shard's first row, and
+//!   each `shard_vms` call re-reads only that shard's rows — so a run
+//!   over an on-disk CSV holds at most two shards of VMs in memory.
+//!
+//! ## The zero-delta stitching trick
+//!
+//! Generated shards report arrivals in *shard-local* time plus a per-shard
+//! delta total, and the consumer rebases with `offset + local`. A pre-built
+//! trace's arrivals are already absolute, and `offset + (absolute - offset)`
+//! is **not** an `f64` identity — rebasing through deltas would break
+//! byte-identity with the materialized path. Both adapters therefore
+//! return arrivals **unchanged** with a per-shard delta total of `0.0`:
+//! the consumer's running offset stays `0.0` forever, its rebase is
+//! `arrival + 0.0` (exact for every non-negative arrival, and arrivals
+//! are validated non-negative), and the streamed trace is bit-for-bit the
+//! stored one. Because the totals no longer encode the span, both
+//! adapters override [`ShardSource::span_units`] with the true last
+//! arrival.
+
+use crate::csv::{parse_row, CsvError, HEADER};
+use crate::shard::{ShardSource, SHARD_SIZE};
+use crate::vm::{VmRequest, Workload};
+use std::fs::File;
+use std::io::{BufRead, BufReader, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+/// An in-memory [`Workload`] served shard-by-shard.
+///
+/// Lets `WorkloadSpec::Trace` runs use the streaming arrival pipeline
+/// (bounded arrival-lane buffering, identical event sequencing) instead of
+/// silently falling back to the materialized path.
+#[derive(Debug, Clone)]
+pub struct TraceShards {
+    workload: Workload,
+}
+
+impl TraceShards {
+    /// Wrap a workload. The workload must be sorted by arrival (enforced
+    /// by [`Workload`] construction).
+    pub fn new(workload: Workload) -> Self {
+        TraceShards { workload }
+    }
+}
+
+impl ShardSource for TraceShards {
+    fn total_vms(&self) -> u32 {
+        self.workload.len() as u32
+    }
+
+    fn label(&self) -> &str {
+        self.workload.name()
+    }
+
+    fn shard_vms(&self, shard: u32) -> (Vec<VmRequest>, f64) {
+        let r = self.shard_range(shard);
+        // Arrivals stay absolute; delta total 0.0 keeps the consumer's
+        // running offset at zero (see module docs).
+        (
+            self.workload.vms()[r.start as usize..r.end as usize].to_vec(),
+            0.0,
+        )
+    }
+
+    fn shard_arrivals(&self, shard: u32) -> (Vec<f64>, f64) {
+        let r = self.shard_range(shard);
+        (
+            self.workload.vms()[r.start as usize..r.end as usize]
+                .iter()
+                .map(|vm| vm.arrival)
+                .collect(),
+            0.0,
+        )
+    }
+
+    fn span_units(&self) -> f64 {
+        self.workload.vms().last().map_or(0.0, |vm| vm.arrival)
+    }
+}
+
+/// Errors raised while opening a CSV trace file as a shard source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceFileError {
+    /// The file could not be read.
+    Io {
+        /// Path that failed.
+        path: String,
+        /// Stringified I/O error.
+        message: String,
+    },
+    /// A row failed CSV validation (same rules as [`crate::csv::from_csv`]).
+    Csv(CsvError),
+    /// VM ids must equal the row's 0-based rank: the streaming arrival
+    /// pipeline addresses VMs by arrival index, so a gap or permutation in
+    /// ids would silently diverge from the materialized path.
+    NonDenseId {
+        /// 1-based line number.
+        line: usize,
+        /// Rank the row should have carried.
+        expected: u32,
+        /// Id actually found.
+        found: u32,
+    },
+}
+
+impl std::fmt::Display for TraceFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceFileError::Io { path, message } => {
+                write!(f, "cannot read trace file '{path}': {message}")
+            }
+            TraceFileError::Csv(e) => write!(f, "trace file: {e}"),
+            TraceFileError::NonDenseId {
+                line,
+                expected,
+                found,
+            } => write!(
+                f,
+                "line {line}: VM ids must be dense and in order (expected {expected}, found {found})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceFileError {}
+
+impl From<CsvError> for TraceFileError {
+    fn from(e: CsvError) -> Self {
+        TraceFileError::Csv(e)
+    }
+}
+
+/// A CSV trace file on disk, served shard-by-shard without ever holding
+/// the whole trace in memory.
+///
+/// [`CsvFileShards::open`] makes one streaming pass over the file that
+/// validates every row (header, arity, field domains, sorted and dense
+/// ids — the exact [`crate::csv::from_csv`] rules plus density) and
+/// records, per [`SHARD_SIZE`] rows, the byte offset of the shard's first
+/// row. Each [`ShardSource::shard_vms`] call then reopens the file, seeks
+/// to the shard's offset and parses only its rows. The file must not be
+/// modified between `open` and the run — `shard_vms` panics (loudly, with
+/// the offending line) if a previously-valid row stops parsing.
+#[derive(Debug, Clone)]
+pub struct CsvFileShards {
+    path: PathBuf,
+    name: String,
+    /// Byte offset of the first data row of each shard.
+    offsets: Vec<u64>,
+    total: u32,
+    span: f64,
+}
+
+impl CsvFileShards {
+    /// Open and validate `path`, labelling the workload `name`.
+    pub fn open(name: impl Into<String>, path: impl AsRef<Path>) -> Result<Self, TraceFileError> {
+        let path = path.as_ref().to_path_buf();
+        let io_err = |e: std::io::Error| TraceFileError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        };
+        let mut reader = BufReader::new(File::open(&path).map_err(io_err)?);
+        let mut buf = String::new();
+        let mut pos: u64 = 0; // byte offset of the line in `buf`
+        let mut line = 0usize; // 1-based line number of that line
+
+        // Header.
+        let n = reader.read_line(&mut buf).map_err(io_err)?;
+        line += 1;
+        if n == 0 || buf.trim() != HEADER {
+            return Err(CsvError::BadHeader.into());
+        }
+        pos += n as u64;
+
+        let mut offsets = Vec::new();
+        let mut total: u32 = 0;
+        let mut span = 0.0f64;
+        let mut last_arrival = f64::NEG_INFINITY;
+        loop {
+            buf.clear();
+            let n = reader.read_line(&mut buf).map_err(io_err)?;
+            if n == 0 {
+                break;
+            }
+            line += 1;
+            let row_start = pos;
+            pos += n as u64;
+            let row = buf.trim();
+            if row.is_empty() {
+                continue;
+            }
+            let vm = parse_row(row, line)?;
+            if vm.id.0 != total {
+                return Err(TraceFileError::NonDenseId {
+                    line,
+                    expected: total,
+                    found: vm.id.0,
+                });
+            }
+            if vm.arrival < last_arrival {
+                return Err(CsvError::NotSorted { line }.into());
+            }
+            last_arrival = vm.arrival;
+            if total.is_multiple_of(SHARD_SIZE) {
+                offsets.push(row_start);
+            }
+            total += 1;
+            span = vm.arrival;
+        }
+        Ok(CsvFileShards {
+            path,
+            name: name.into(),
+            offsets,
+            total,
+            span,
+        })
+    }
+
+    /// Path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl ShardSource for CsvFileShards {
+    fn total_vms(&self) -> u32 {
+        self.total
+    }
+
+    fn label(&self) -> &str {
+        &self.name
+    }
+
+    fn shard_vms(&self, shard: u32) -> (Vec<VmRequest>, f64) {
+        let range = self.shard_range(shard);
+        let want = range.len();
+        let mut reader = BufReader::new(File::open(&self.path).unwrap_or_else(|e| {
+            panic!(
+                "trace file '{}' unreadable after open(): {e}",
+                self.path.display()
+            )
+        }));
+        reader
+            .seek(SeekFrom::Start(self.offsets[shard as usize]))
+            .unwrap_or_else(|e| panic!("seek in trace file '{}': {e}", self.path.display()));
+        let mut vms = Vec::with_capacity(want);
+        let mut buf = String::new();
+        while vms.len() < want {
+            buf.clear();
+            let n = reader
+                .read_line(&mut buf)
+                .unwrap_or_else(|e| panic!("read from trace file '{}': {e}", self.path.display()));
+            assert!(
+                n > 0,
+                "trace file '{}' truncated since open(): shard {shard} ended after {} of {want} rows",
+                self.path.display(),
+                vms.len()
+            );
+            let row = buf.trim();
+            if row.is_empty() {
+                continue;
+            }
+            // Line numbers are unknown on the re-read path; report the
+            // shard-relative row instead.
+            let vm = parse_row(row, vms.len() + 1).unwrap_or_else(|e| {
+                panic!(
+                    "trace file '{}' changed since open(): shard {shard}, {e}",
+                    self.path.display()
+                )
+            });
+            vms.push(vm);
+        }
+        // Absolute arrivals, zero delta total (see module docs).
+        (vms, 0.0)
+    }
+
+    fn span_units(&self) -> f64 {
+        self.span
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csv::to_csv;
+    use crate::shard::materialize;
+    use crate::streaming::StreamingShards;
+    use crate::synthetic::SyntheticConfig;
+    use std::sync::Arc;
+
+    fn sample_workload(n: u32) -> Workload {
+        Workload::synthetic(&SyntheticConfig::small(n, 11))
+    }
+
+    #[test]
+    fn trace_shards_reproduce_the_workload_exactly() {
+        // 2.5 shards so the ragged tail and shard boundaries are exercised.
+        let w = sample_workload(SHARD_SIZE * 2 + 50);
+        let shards = TraceShards::new(w.clone());
+        assert_eq!(shards.total_vms(), w.len() as u32);
+        assert_eq!(shards.label(), w.name());
+        assert_eq!(materialize(&shards), w.vms());
+        assert_eq!(
+            shards.span_units().to_bits(),
+            w.vms().last().unwrap().arrival.to_bits()
+        );
+        // Every per-shard delta total is exactly zero, so a streaming
+        // consumer's offset never moves.
+        for s in 0..shards.num_shards() {
+            assert_eq!(shards.shard_vms(s).1, 0.0);
+            assert_eq!(shards.shard_arrivals(s).1, 0.0);
+        }
+    }
+
+    #[test]
+    fn streaming_cursor_over_trace_shards_is_bit_exact_and_bounded() {
+        let w = sample_workload(SHARD_SIZE * 2 + 50);
+        let cursor = StreamingShards::new(Arc::new(TraceShards::new(w.clone())));
+        let streamed: Vec<VmRequest> = cursor.collect();
+        assert_eq!(streamed, *w.vms());
+    }
+
+    fn temp_csv(tag: &str, contents: &str) -> PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("risa_trace_{}_{tag}.csv", std::process::id()));
+        std::fs::write(&path, contents).unwrap();
+        path
+    }
+
+    #[test]
+    fn csv_file_shards_match_in_memory_parse() {
+        let w = sample_workload(SHARD_SIZE * 2 + 50);
+        let path = temp_csv("roundtrip", &to_csv(&w));
+        let shards = CsvFileShards::open("disk", &path).unwrap();
+        assert_eq!(shards.total_vms(), w.len() as u32);
+        assert_eq!(shards.num_shards(), 3);
+        assert_eq!(
+            shards.span_units().to_bits(),
+            w.vms().last().unwrap().arrival.to_bits()
+        );
+        // Chunked re-reads reproduce the trace bit-for-bit, shard by shard
+        // and end to end.
+        assert_eq!(materialize(&shards), w.vms());
+        let streamed: Vec<VmRequest> = StreamingShards::new(Arc::new(shards.clone())).collect();
+        assert_eq!(streamed, *w.vms());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn csv_file_shards_tolerate_blank_lines_and_empty_files() {
+        let path = temp_csv("blanks", &format!("{HEADER}\n\n0,1,2,128,1.0,10.0\n\n"));
+        let shards = CsvFileShards::open("blanky", &path).unwrap();
+        assert_eq!(shards.total_vms(), 1);
+        assert_eq!(shards.shard_vms(0).0.len(), 1);
+        std::fs::remove_file(&path).ok();
+
+        let path = temp_csv("empty", &format!("{HEADER}\n"));
+        let shards = CsvFileShards::open("empty", &path).unwrap();
+        assert_eq!(shards.total_vms(), 0);
+        assert_eq!(shards.num_shards(), 0);
+        assert_eq!(shards.span_units(), 0.0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_validates_eagerly() {
+        let missing = CsvFileShards::open("x", "/nonexistent/risa/trace.csv").unwrap_err();
+        assert!(matches!(missing, TraceFileError::Io { .. }));
+        assert!(missing.to_string().contains("/nonexistent/risa/trace.csv"));
+
+        let path = temp_csv("badheader", "nope\n0,1,2,128,1.0,10.0\n");
+        assert_eq!(
+            CsvFileShards::open("x", &path).unwrap_err(),
+            TraceFileError::Csv(CsvError::BadHeader)
+        );
+        std::fs::remove_file(&path).ok();
+
+        let path = temp_csv(
+            "unsorted",
+            &format!("{HEADER}\n0,1,2,128,5.0,10.0\n1,1,2,128,4.0,10.0\n"),
+        );
+        assert_eq!(
+            CsvFileShards::open("x", &path).unwrap_err(),
+            TraceFileError::Csv(CsvError::NotSorted { line: 3 })
+        );
+        std::fs::remove_file(&path).ok();
+
+        let path = temp_csv(
+            "sparseid",
+            &format!("{HEADER}\n0,1,2,128,1.0,10.0\n5,1,2,128,2.0,10.0\n"),
+        );
+        assert_eq!(
+            CsvFileShards::open("x", &path).unwrap_err(),
+            TraceFileError::NonDenseId {
+                line: 3,
+                expected: 1,
+                found: 5
+            }
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -15,6 +15,12 @@ threshold below the baseline. Always exits 0 on well-formed input:
 machines and run sizes differ between the checked-in snapshot and a CI
 smoke run, so this is a tripwire, not a gate. The two files must share
 a schema.
+
+Malformed input is a hard error (exit 1), never a silently-green run: a
+missing or unreadable snapshot, an unknown schema, or an envelope with
+zero cells all abort. An empty envelope used to sail through as "all
+cells within threshold", which is exactly the failure mode a tripwire
+must not have.
 """
 
 import argparse
@@ -46,13 +52,30 @@ SCHEMAS = {
 
 
 def load(path):
-    with open(path) as f:
-        doc = json.load(f)
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        sys.exit(
+            f"{path}: cannot read snapshot: {e.strerror or e} "
+            "(regenerate with `risa-cli bench --json --out .`)"
+        )
+    except json.JSONDecodeError as e:
+        sys.exit(f"{path}: not valid JSON: {e}")
     schema = doc.get("schema")
     if schema not in SCHEMAS:
         sys.exit(f"{path}: unexpected schema {schema!r}")
     name, unit, extract = SCHEMAS[schema]
-    return schema, name, unit, extract(doc)
+    try:
+        cells = extract(doc)
+    except (KeyError, TypeError) as e:
+        sys.exit(f"{path}: malformed {schema} envelope: {e!r}")
+    if not cells:
+        sys.exit(
+            f"{path}: {schema} envelope has zero cells; an empty snapshot "
+            "compares green against anything and defeats the tripwire"
+        )
+    return schema, name, unit, cells
 
 
 def main():
