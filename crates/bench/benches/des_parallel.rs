@@ -1,0 +1,134 @@
+//! Optimistic parallel DES executor: events/sec versus thread count, and
+//! the conflict/rollback economics that decide whether speculation pays.
+//!
+//! The speculative executor (`risa_sim::parallel`) drains the two-lane
+//! queue in windows, speculates arrival decisions in parallel against the
+//! window-start state, and commits serially in canonical order with
+//! conflict detection. Its profit equation is simple: fast commits are
+//! work moved off the critical path; rollbacks are pure overhead (the
+//! speculation is discarded and the arrival re-executes serially). This
+//! bench is the checked-in artifact for that equation:
+//!
+//! * the saturating 100k-VM run per (exec mode × thread count), reporting
+//!   events/s and — for speculative runs — window, fast-commit, rollback
+//!   and serial-event counters plus the derived conflict rate;
+//! * an assertion that the speculation counters are thread-count
+//!   invariant (fixed chunking + serial commit order), so the artifact's
+//!   conflict rate is a property of the workload, not the machine;
+//! * a criterion sweep timing a 20k-VM full run per exec mode so the
+//!   sequential/speculative ratio is tracked commit over commit.
+//!
+//! On the saturated synthetic workload the admit path serializes on the
+//! shared round-robin rack cursor (every successful admit moves it, so
+//! consecutive admits conflict by construction), while drops touch no
+//! shared dirt and fast-commit freely. The printed crossover line states
+//! the rate at which speculation would break even at each thread count,
+//! next to the measured fast-commit rate — the quantified form of the
+//! "conflict rate makes wall-clock speedup unreachable here" claim.
+
+use criterion::{BenchmarkId, Criterion};
+use risa_sim::{Algorithm, ExecMode, SimulationBuilder, SpeculationReport, WorkloadSpec};
+use risa_workload::{SyntheticConfig, Workload};
+
+const SATURATING_VMS: u32 = 100_000;
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// One full run; returns (events, seconds, admitted, dropped, counters).
+fn one_run(trace: &Workload, exec: ExecMode) -> (u64, f64, u32, u32, Option<SpeculationReport>) {
+    let mut sim = SimulationBuilder::new()
+        .algorithm(Algorithm::Risa)
+        .workload(WorkloadSpec::Trace(trace.clone()))
+        .exec(exec)
+        .faults_off() // perf baseline: comparable across env toggles
+        .build();
+    let t0 = std::time::Instant::now();
+    let report = sim.run();
+    let secs = t0.elapsed().as_secs_f64();
+    (
+        sim.events_dispatched(),
+        secs,
+        report.admitted,
+        report.dropped,
+        report.speculation,
+    )
+}
+
+fn main() {
+    rayon::warm_up();
+    println!("{}", risa_sim::host_info());
+    let trace = Workload::synthetic(&SyntheticConfig::small(SATURATING_VMS, 42));
+
+    println!(
+        "des_parallel artifact: saturating {SATURATING_VMS}-VM single run, \
+         per (exec mode x thread count)"
+    );
+    let (seq_events, seq_secs, seq_admitted, seq_dropped, seq_spec) =
+        one_run(&trace, ExecMode::Sequential);
+    assert!(seq_spec.is_none(), "sequential runs carry no counters");
+    let seq_rate = seq_events as f64 / seq_secs.max(1e-9);
+    println!("  sequential: {seq_events} events in {seq_secs:.3} s = {seq_rate:.0} events/s");
+
+    let mut counters: Vec<SpeculationReport> = Vec::new();
+    for threads in THREAD_SWEEP {
+        let (events, secs, admitted, dropped, spec) =
+            rayon::with_num_threads(threads, || one_run(&trace, ExecMode::Speculative));
+        // Byte-identity of the outcome is the executor's contract; the
+        // differential batteries check full reports and traces, the bench
+        // keeps a tripwire on the headline numbers.
+        assert_eq!(
+            (events, admitted, dropped),
+            (seq_events, seq_admitted, seq_dropped)
+        );
+        let s = spec.expect("speculative runs carry counters");
+        let rate = events as f64 / secs.max(1e-9);
+        let conflict = s.rollbacks as f64 / (s.speculated.max(1)) as f64;
+        // Break-even sketch: with per-arrival speculation cost ~= serial
+        // cost, a rollback re-pays the serial cost, so speedup needs
+        // fast_commit_rate > 1 - 1/threads on the arrival share alone.
+        let breakeven = 1.0 - 1.0 / threads as f64;
+        println!(
+            "  speculative/t{threads}: {events} events in {secs:.3} s = {rate:.0} events/s \
+             ({:.2}x sequential)",
+            rate / seq_rate.max(1e-9),
+        );
+        println!(
+            "    windows {} | speculated {} | fast {} | rollback {} | serial {} \
+             | conflict rate {:.1}% (break-even needs fast-commit > {:.0}%, measured {:.1}%)",
+            s.windows,
+            s.speculated,
+            s.fast_commits,
+            s.rollbacks,
+            s.serial_events,
+            conflict * 100.0,
+            breakeven * 100.0,
+            (1.0 - conflict) * 100.0,
+        );
+        counters.push(s);
+    }
+    // The counters are a workload property: fixed chunking and the serial
+    // canonical commit make them independent of pool width.
+    assert!(
+        counters.windows(2).all(|w| w[0] == w[1]),
+        "speculation counters must be thread-count invariant: {counters:?}"
+    );
+    println!();
+
+    let mut c = Criterion::default().configure_from_args();
+    let small = Workload::synthetic(&SyntheticConfig::small(20_000, 42));
+    let mut g = c.benchmark_group("des_parallel_20k_full_run");
+    for exec in ExecMode::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(exec), &exec, |b, &exec| {
+            b.iter(|| {
+                SimulationBuilder::new()
+                    .algorithm(Algorithm::Risa)
+                    .workload(WorkloadSpec::Trace(small.clone()))
+                    .exec(exec)
+                    .faults_off()
+                    .build()
+                    .run()
+            })
+        });
+    }
+    g.finish();
+    c.final_summary();
+}

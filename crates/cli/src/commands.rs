@@ -33,6 +33,7 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             scale,
             fel,
             arrivals,
+            exec,
             faults,
             json,
             jobs,
@@ -76,6 +77,9 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                 if let Some(mode) = arrivals {
                     builder = builder.arrivals(mode);
                 }
+                if let Some(mode) = exec {
+                    builder = builder.exec(mode);
+                }
                 if faults {
                     builder = builder.faults(risa_sim::FaultSpec::canonical());
                 }
@@ -88,9 +92,10 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             // uses after flag-vs-env precedence (flags win; see
             // tests/precedence.rs).
             eprintln!(
-                "resolved: fel={} arrivals={} faults={} jobs={}",
+                "resolved: fel={} arrivals={} exec={} faults={} jobs={}",
                 sim.fel_backend(),
                 sim.arrival_mode(),
+                sim.exec_mode(),
                 if sim.world().fault_report().is_some() {
                     "on"
                 } else {
@@ -276,6 +281,12 @@ fn emit(report: &RunReport, json: bool) -> Result<(), String> {
             report.work.ops_per_call()
         ),
     ]);
+    if let Some(s) = &report.speculation {
+        t.row_display(&[
+            "speculation fast/rollback/serial",
+            &format!("{} / {} / {}", s.fast_commits, s.rollbacks, s.serial_events),
+        ]);
+    }
     if let Some(f) = &report.faults {
         t.row_display(&[
             "rack failures / link flaps",
@@ -479,6 +490,7 @@ mod tests {
             scale: 1,
             fel: None,
             arrivals: Some(risa_sim::ArrivalMode::Streaming),
+            exec: None,
             faults: false,
             json: false,
             jobs: None,
@@ -498,6 +510,7 @@ mod tests {
             scale: 1,
             fel: None,
             arrivals: None,
+            exec: None,
             faults: false,
             json: true,
             jobs: None,
@@ -569,6 +582,7 @@ mod tests {
             scale: 10,
             fel: Some(risa_sim::FelKind::Calendar),
             arrivals: None,
+            exec: None,
             faults: false,
             json: false,
             jobs: None,
@@ -591,7 +605,31 @@ mod tests {
             scale: 1,
             fel: None,
             arrivals: None,
+            exec: None,
             faults: true,
+            json: false,
+            jobs: None,
+            checkpoint: None,
+            checkpoint_every: None,
+            resume: None,
+        };
+        assert!(execute(cmd).is_ok());
+    }
+
+    /// `run --exec speculative` drives the windowed optimistic engine end
+    /// to end through the CLI path (byte-identity with sequential is
+    /// pinned by `risa-sim`'s differential tests).
+    #[test]
+    fn run_speculative_exec() {
+        let cmd = Command::Run {
+            algo: Algorithm::Risa,
+            workload: WorkloadArg::Synthetic { n: 300 },
+            seed: 6,
+            scale: 1,
+            fel: None,
+            arrivals: None,
+            exec: Some(risa_sim::ExecMode::Speculative),
+            faults: false,
             json: false,
             jobs: None,
             checkpoint: None,
@@ -632,7 +670,7 @@ mod tests {
         })
         .unwrap();
         for (name, schema) in [
-            ("BENCH_des.json", "risa-bench-des/v1"),
+            ("BENCH_des.json", "risa-bench-des/v2"),
             ("BENCH_scale.json", "risa-bench-scale/v1"),
             ("BENCH_gen.json", "risa-bench-gen/v1"),
         ] {
@@ -658,6 +696,7 @@ mod tests {
             scale: 1,
             fel: None,
             arrivals: None,
+            exec: None,
             faults: false,
             json: true,
             jobs: None,
@@ -675,6 +714,7 @@ mod tests {
             scale: 1,
             fel: None,
             arrivals: None,
+            exec: None,
             faults: false,
             json: true,
             jobs: None,
@@ -695,6 +735,7 @@ mod tests {
             scale: 1,
             fel: None,
             arrivals: None,
+            exec: None,
             faults: false,
             json: false,
             jobs: None,
@@ -732,6 +773,7 @@ mod tests {
             scale: 1,
             fel: None,
             arrivals: None,
+            exec: None,
             faults: false,
             json: true,
             jobs: None,

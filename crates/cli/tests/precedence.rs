@@ -1,7 +1,8 @@
 //! Flag-vs-env precedence matrix for the `run` command.
 //!
 //! Every run knob has a flag and an environment fallback: `--fel` /
-//! `RISA_FEL`, `--arrivals` / `RISA_ARRIVALS`, `--faults` / `RISA_FAULTS`,
+//! `RISA_FEL`, `--arrivals` / `RISA_ARRIVALS`, `--exec` / `RISA_EXEC`,
+//! `--faults` / `RISA_FAULTS`,
 //! `--jobs` / `RISA_THREADS`. The contract is that an explicit flag
 //! always beats a conflicting env var. Before PR 9 that contract was only
 //! documented; here it is observed end-to-end by spawning the real binary
@@ -35,6 +36,7 @@ fn run_with(env: &[(&str, &str)], extra: &[&str]) -> (HashMap<String, String>, S
     // (e.g. CI's RISA_FEL matrix) must not leak into the child.
     .env_remove("RISA_FEL")
     .env_remove("RISA_ARRIVALS")
+    .env_remove("RISA_EXEC")
     .env_remove("RISA_FAULTS")
     .env_remove("RISA_THREADS");
     for (k, v) in env {
@@ -68,6 +70,7 @@ fn env_vars_drive_unflagged_runs() {
         &[
             ("RISA_FEL", "calendar"),
             ("RISA_ARRIVALS", "streaming"),
+            ("RISA_EXEC", "speculative"),
             ("RISA_FAULTS", "1"),
             ("RISA_THREADS", "3"),
         ],
@@ -75,6 +78,7 @@ fn env_vars_drive_unflagged_runs() {
     );
     assert_eq!(resolved["fel"], "calendar");
     assert_eq!(resolved["arrivals"], "streaming");
+    assert_eq!(resolved["exec"], "speculative");
     assert_eq!(resolved["faults"], "on");
     assert_eq!(resolved["jobs"], "3");
 }
@@ -92,6 +96,50 @@ fn arrivals_flag_beats_env() {
         &["--arrivals", "materialized"],
     );
     assert_eq!(resolved["arrivals"], "materialized");
+}
+
+#[test]
+fn exec_flag_beats_env() {
+    let (resolved, _) = run_with(&[("RISA_EXEC", "speculative")], &["--exec", "sequential"]);
+    assert_eq!(resolved["exec"], "sequential");
+}
+
+/// A speculative run's report differs from a sequential one only by the
+/// `speculation` counter block (and wall-clock `sched_seconds`).
+#[test]
+fn speculative_run_output_matches_sequential_modulo_counters() {
+    // Normalize pretty JSON to comparable key lines: trim structure-only
+    // lines and trailing commas, then drop the wall-clock field and the
+    // speculation block's key/counter lines.
+    let stable = |json: String| -> String {
+        json.lines()
+            .map(|l| l.trim().trim_end_matches(',').to_string())
+            .filter(|l| !l.is_empty() && l != "}" && l != "{")
+            .filter(|l| !l.contains("sched_seconds") && !l.contains("\"speculation\""))
+            .filter(|l| {
+                ![
+                    "\"windows\"",
+                    "\"window_events\"",
+                    "\"speculated\"",
+                    "\"fast_commits\"",
+                    "\"rollbacks\"",
+                    "\"serial_events\"",
+                ]
+                .iter()
+                .any(|k| l.starts_with(*k))
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let (_, seq) = run_with(&[], &["--exec", "sequential"]);
+    let (resolved, spec) = run_with(&[], &["--exec", "speculative"]);
+    assert_eq!(resolved["exec"], "speculative");
+    assert!(spec.contains("\"speculation\""), "counter block present");
+    assert!(
+        !seq.contains("\"speculation\""),
+        "absent on sequential runs"
+    );
+    assert_eq!(stable(seq), stable(spec));
 }
 
 #[test]

@@ -214,10 +214,19 @@ impl<E> EventQueue<E> {
     /// lazily-organized backends (and lazy arrival sources) may fault in
     /// their next buffer internally.
     pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.peek_key().map(|(t, _)| t)
+    }
+
+    /// Full `(time, seq)` key of the earliest pending event across both
+    /// lanes — the canonical dispatch-order key. Windowed drivers (the
+    /// speculative executor in `risa-sim`) compare this against buffered
+    /// entries to decide whether a handler-scheduled event must commit
+    /// before the buffer's front.
+    pub fn peek_key(&mut self) -> Option<(SimTime, u64)> {
         match (self.arrival_key(), self.fel.peek_key()) {
             (None, None) => None,
-            (Some((t, _)), None) | (None, Some((t, _))) => Some(t),
-            (Some(s), Some(f)) => Some(s.min(f).0),
+            (Some(k), None) | (None, Some(k)) => Some(k),
+            (Some(s), Some(f)) => Some(s.min(f)),
         }
     }
 

@@ -63,7 +63,7 @@ fn fixtures_match_their_markers() {
         .collect();
     names.sort();
     assert!(
-        names.len() >= 19,
+        names.len() >= 21,
         "expected the full fixture battery, got {names:?}"
     );
 

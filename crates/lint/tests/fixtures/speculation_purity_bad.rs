@@ -1,0 +1,22 @@
+//@ path: crates/sim/src/parallel/view.rs
+// True positive: speculative-path code mutating the real world through
+// raw mutators. Workers must touch only their private clones via
+// scheduler entry points; real-world writes belong in the commit layer
+// (sim/src/parallel/commit.rs), which validates against the dirty set
+// first.
+pub fn speculate_badly(w: &mut DdcWorld, asg: &Assignment) {
+    w.cluster.take_placement(&asg.placement).unwrap(); //~ ERROR speculation_purity
+    w.cluster.give_placement(&asg.placement); //~ ERROR speculation_purity
+    w.net.replay_vm(&asg.network).unwrap(); //~ ERROR speculation_purity
+    w.net.replay_flow(&asg.flow).unwrap(); //~ ERROR speculation_purity
+    w.scheduler.adopt_cursors(&asg.sched); //~ ERROR speculation_purity
+}
+
+pub fn churn_badly(w: &mut DdcWorld, idx: u32) {
+    w.cluster.remove_box(idx); //~ ERROR speculation_purity
+    w.cluster.restore_box(idx); //~ ERROR speculation_purity
+    w.net.fail_link(idx); //~ ERROR speculation_purity
+    w.net.restore_link(idx); //~ ERROR speculation_purity
+    w.audit.alloc_vm(idx); //~ ERROR speculation_purity
+    w.audit.release_vm(idx); //~ ERROR speculation_purity
+}

@@ -1,0 +1,21 @@
+//@ path: crates/sim/src/parallel/view.rs
+// True negative: the sanctioned speculation shape — private clones of
+// the window-start state, mutated only through scheduler entry points,
+// with exact undo between arrivals. `Scheduler::release` is the undo
+// entry point, not the `release_vm` ledger mutator; boundary-checked
+// needles must not confuse them.
+pub fn speculate(s0: &S0, chunk: &[ArrivalSpec]) -> Vec<Speculation> {
+    let mut cluster = s0.cluster.clone();
+    let mut net = s0.net.clone();
+    chunk
+        .iter()
+        .map(|a| {
+            let mut sched = s0.scheduler.speculative_clone();
+            let outcome = sched.schedule(&mut cluster, &mut net, &a.demand);
+            if let Some(asg) = outcome.assigned() {
+                Scheduler::release(&mut cluster, &mut net, asg);
+            }
+            Speculation { outcome, sched }
+        })
+        .collect()
+}

@@ -322,6 +322,40 @@ impl NetworkState {
         Ok(())
     }
 
+    /// Re-reserve a flow on exactly its recorded hops — the inverse of
+    /// [`NetworkState::release_flow`]. The speculative executor's commit
+    /// layer uses this to replay a conflict-validated speculated
+    /// allocation without re-running link selection (so the replay is
+    /// independent of the [`LinkPolicy`] the algorithm used). All-or-
+    /// nothing: on failure every hop taken so far is rolled back.
+    pub fn replay_flow(&mut self, path: &FlowPath) -> Result<(), NetError> {
+        for (i, h) in path.hops.iter().enumerate() {
+            if !self.trunk_take(h.trunk, h.link, h.mbps) {
+                for done in &path.hops[..i] {
+                    self.trunk_give(done.trunk, done.link, done.mbps)
+                        .expect("rollback replays grants just taken");
+                }
+                return Err(NetError::InsufficientBandwidth {
+                    trunk: h.trunk,
+                    needed_mbps: h.mbps,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-reserve both flows of a VM on their recorded hops, atomically
+    /// (see [`NetworkState::replay_flow`]).
+    pub fn replay_vm(&mut self, alloc: &VmNetAllocation) -> Result<(), NetError> {
+        self.replay_flow(&alloc.cpu_ram)?;
+        if let Err(e) = self.replay_flow(&alloc.ram_sto) {
+            self.release_flow(&alloc.cpu_ram)
+                .expect("rollback replays the flow just granted");
+            return Err(e);
+        }
+        Ok(())
+    }
+
     /// Reserve both flows of a VM (CPU↔RAM then RAM↔storage), atomically.
     pub fn alloc_vm(
         &mut self,

@@ -2,11 +2,12 @@
 
 use crate::config::{LatencyConfig, SimConfig};
 use crate::faults::FaultSpec;
+use crate::parallel::ExecMode;
 use crate::report::RunReport;
 use crate::spec::WorkloadSpec;
 use crate::streaming::{ArrivalMode, StreamingArrivals};
 use crate::world::{DdcWorld, DEFAULT_SCHED_TIMING_BATCH};
-use risa_des::{EventQueue, EventTrace, FelKind, Simulation};
+use risa_des::{EventQueue, EventTrace, FelKind, SimTime, Simulation};
 use risa_network::NetworkConfig;
 use risa_photonics::PhotonicsConfig;
 use risa_sched::Algorithm;
@@ -79,6 +80,7 @@ pub struct SimulationBuilder {
     pub(crate) arrivals: Option<ArrivalMode>,
     pub(crate) faults: Option<Option<FaultSpec>>,
     pub(crate) checkpoint_every: Option<f64>,
+    pub(crate) exec: Option<ExecMode>,
 }
 
 impl SimulationBuilder {
@@ -97,7 +99,21 @@ impl SimulationBuilder {
             arrivals: None,
             faults: None,
             checkpoint_every: None,
+            exec: None,
         }
+    }
+
+    /// Choose the single-run execution engine (default: the `RISA_EXEC`
+    /// environment variable, falling back to [`ExecMode::Sequential`]).
+    /// [`ExecMode::Speculative`] drains the queue in bounded windows and
+    /// speculates arrival decisions on the `rayon` pool — reports, event
+    /// traces and checkpoints stay byte-identical to the sequential
+    /// engine at any thread count (pinned by
+    /// `tests/hot_path_differential.rs`), and the report gains a
+    /// [`crate::SpeculationReport`] block.
+    pub fn exec(mut self, mode: ExecMode) -> Self {
+        self.exec = Some(mode);
+        self
     }
 
     /// Snapshot the run every `interval` simulated time units when driven
@@ -281,10 +297,12 @@ impl SimulationBuilder {
         };
         let mode = self.arrivals.unwrap_or_else(ArrivalMode::from_env);
         let backend = self.fel.unwrap_or_else(FelKind::from_env);
+        let exec = self.exec.unwrap_or_else(ExecMode::from_env);
         let mut recipe = self.clone();
         recipe.faults = Some(fault_spec.clone());
         recipe.arrivals = Some(mode);
         recipe.fel = Some(backend);
+        recipe.exec = Some(exec);
 
         // Typed rejection of unsorted pre-built traces. Generators emit
         // sorted traces by construction and CSV parsing validates order,
@@ -301,6 +319,18 @@ impl SimulationBuilder {
                     return Err(BuildError::UnsortedTrace {
                         workload: w.name().to_string(),
                         index,
+                    });
+                }
+                // Same early-rejection contract for capacity: a pre-built
+                // trace is already in memory, so an oversized VM is
+                // detectable now on *both* arrival pipelines — the
+                // streaming branch below otherwise defers validation to
+                // each arrival, turning a build-time error into a
+                // mid-run panic.
+                if let Err(vm) = w.validate_fits(&self.cfg.topology) {
+                    return Err(BuildError::OversizedVm {
+                        id: vm.id.0,
+                        workload: w.name().to_string(),
                     });
                 }
             }
@@ -327,6 +357,9 @@ impl SimulationBuilder {
             let cursor = StreamingShards::new(Arc::clone(&source));
             let mut world = DdcWorld::new_streaming(self.cfg, self.algorithm, cursor);
             self.prime(&mut world);
+            if exec == ExecMode::Speculative {
+                world.enable_speculation();
+            }
             if let Some(spec) = fault_spec {
                 world.enable_faults(spec, source.span_units());
             }
@@ -338,6 +371,7 @@ impl SimulationBuilder {
                 arrival_mode: ArrivalMode::Streaming,
                 recipe,
                 checkpoint_every: self.checkpoint_every,
+                exec,
             });
         }
 
@@ -364,6 +398,9 @@ impl SimulationBuilder {
         let span = workload.vms().last().map_or(0.0, |vm| vm.arrival);
         let mut world = DdcWorld::new(self.cfg, self.algorithm, workload);
         self.prime(&mut world);
+        if exec == ExecMode::Speculative {
+            world.enable_speculation();
+        }
         if let Some(spec) = fault_spec {
             world.enable_faults(spec, span);
         }
@@ -381,6 +418,7 @@ impl SimulationBuilder {
             arrival_mode: ArrivalMode::Materialized,
             recipe,
             checkpoint_every: self.checkpoint_every,
+            exec,
         })
     }
 
@@ -429,12 +467,21 @@ pub struct DdcSimulation {
     /// Checkpoint cadence for [`DdcSimulation::run_checkpointed`], in
     /// simulated time units.
     pub(crate) checkpoint_every: Option<f64>,
+    /// The execution engine resolved at build time.
+    pub(crate) exec: ExecMode,
 }
 
 impl DdcSimulation {
     /// Run every event and produce the run report.
     pub fn run(&mut self) -> RunReport {
-        self.sim.run_to_completion();
+        match self.exec {
+            ExecMode::Sequential => {
+                self.sim.run_to_completion();
+            }
+            ExecMode::Speculative => {
+                crate::parallel::run_speculative(&mut self.sim, SimTime::MAX);
+            }
+        }
         self.finish()
     }
 
@@ -507,6 +554,7 @@ impl DdcSimulation {
             work: *w.scheduler.work(),
             sim_duration: t_end,
             faults: w.fault_report(),
+            speculation: w.speculation,
         }
     }
 
@@ -543,6 +591,13 @@ impl DdcSimulation {
     /// The future-event-list backend this run uses.
     pub fn fel_backend(&self) -> FelKind {
         self.sim.queue().backend()
+    }
+
+    /// The execution engine this run uses (resolved at build time from
+    /// [`SimulationBuilder::exec`] or the `RISA_EXEC` environment
+    /// variable).
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec
     }
 
     /// The arrival pipeline actually in effect. Every workload spec

@@ -33,6 +33,7 @@ mod checkpoint;
 mod config;
 pub mod experiments;
 mod faults;
+mod parallel;
 mod report;
 mod spec;
 mod streaming;
@@ -43,6 +44,7 @@ pub use builder::{BuildError, DdcSimulation, SimulationBuilder};
 pub use checkpoint::{Checkpoint, CHECKPOINT_VERSION};
 pub use config::{LatencyConfig, SimConfig};
 pub use faults::{FaultReport, FaultSpec};
+pub use parallel::{ExecMode, SpeculationReport};
 pub use report::{host_info, peak_rss_bytes, ExperimentReport, RunReport};
 pub use spec::WorkloadSpec;
 pub use streaming::ArrivalMode;

@@ -1,0 +1,231 @@
+//! The commit layer: serial canonical-order application of a drained
+//! window, with conflict detection and rollback.
+//!
+//! This file is the **only** place speculative execution mutates the real
+//! world, and the only file in `sim/src/parallel` exempt from the
+//! `speculation_purity` lint rule's ban on raw placement/flow mutators.
+//!
+//! Commits walk the window in exact `(time, seq)` order, merging against
+//! the live queue head so handler-scheduled events (departures of VMs
+//! admitted earlier in the same window, fault follow-ups) still dispatch
+//! in canonical order. A [`DirtySet`] accumulates what each commit wrote:
+//!
+//! | committed event                        | dirt                        |
+//! |----------------------------------------|-----------------------------|
+//! | arrival → intra-rack, non-fallback admit | grant racks + cursor moved |
+//! | arrival → fallback or inter-rack admit | poison (read/wrote broadly) |
+//! | arrival → drop                         | none (no state mutated)     |
+//! | departure of a resident VM             | its grant racks             |
+//! | departure of a tombstoned/in-transit VM| none (fault ledger only)    |
+//! | any fault or migration event           | poison                      |
+//!
+//! A speculation fast-commits iff its read set is disjoint from the dirt:
+//! interval reads (RISA intra-rack admits) tolerate dirt outside their
+//! probe interval as long as the cursor has not moved; whole-cluster
+//! reads (everything else) require a fully clean window so far. The
+//! fast path replays the *validated* decision — placement re-taken, flow
+//! hops re-reserved exactly ([`risa_network::NetworkState::replay_vm`] is
+//! link-policy-independent), cursors adopted, work and timing deltas
+//! absorbed — and then runs the same `finish_arrival` tail as the
+//! sequential path, so the resulting world state is byte-identical.
+
+use super::view::{ArrivalSpec, Speculation};
+use super::SpeculationReport;
+use crate::world::{DdcWorld, SimEvent};
+use risa_des::{QueueEntry, Simulation};
+use risa_sched::ScheduleOutcome;
+use risa_topology::{RackId, RackInterval, RackSet};
+
+/// What the window's earlier commits wrote, at rack granularity.
+pub(super) struct DirtySet {
+    /// Racks whose compute or intra-rack bandwidth changed.
+    racks: RackSet,
+    /// The real scheduler's cursor state moved (any committed admit):
+    /// every outstanding interval speculation started from a stale
+    /// cursor, so none of them can fast-commit.
+    cursor_moved: bool,
+    /// Something outside the rack-granular model changed (fault
+    /// machinery, fallback/inter-rack placement): nothing fast-commits
+    /// for the rest of the window.
+    poisoned: bool,
+}
+
+impl DirtySet {
+    fn new(num_racks: u16) -> Self {
+        DirtySet {
+            racks: RackSet::new(num_racks),
+            cursor_moved: false,
+            poisoned: false,
+        }
+    }
+
+    fn is_clean(&self) -> bool {
+        !self.poisoned && !self.cursor_moved && self.racks.is_empty()
+    }
+
+    /// May a speculation with this read set still fast-commit?
+    fn admits(&self, read: Option<&RackInterval>) -> bool {
+        match read {
+            Some(iv) => {
+                !self.poisoned && !self.cursor_moved && !self.racks.intersects_interval(*iv)
+            }
+            None => self.is_clean(),
+        }
+    }
+}
+
+/// Commit one drained window in canonical order. `arrivals` and `specs`
+/// are aligned and sorted by window position (speculation preserves
+/// order). Returns the window's counter delta (`windows == 1`).
+pub(super) fn commit_window(
+    sim: &mut Simulation<DdcWorld>,
+    window: Vec<QueueEntry<SimEvent>>,
+    arrivals: Vec<ArrivalSpec>,
+    specs: Vec<Speculation>,
+) -> SpeculationReport {
+    let mut stats = SpeculationReport {
+        windows: 1,
+        window_events: window.len() as u64,
+        speculated: arrivals.len() as u64,
+        ..SpeculationReport::default()
+    };
+    let mut dirty = DirtySet::new(sim.world().cluster.num_racks());
+    let mut spec_iter = arrivals.into_iter().zip(specs).peekable();
+    let mut buffered = window.into_iter().enumerate().peekable();
+    while let Some((pos, front)) = buffered.peek() {
+        let front_key = (front.at, front.seq);
+        if sim.peek_key().is_some_and(|k| k < front_key) {
+            // A handler-scheduled event sorts before the next buffered
+            // entry. It cannot be an arrival: at drain time everything
+            // still queued sorted after the whole window, so only events
+            // scheduled by this window's handlers can land here.
+            let entry = sim.pop_entry().expect("peeked entry");
+            debug_assert!(
+                !matches!(entry.event, SimEvent::Arrival(_)),
+                "arrival lane outran a drained window"
+            );
+            commit_serial(sim, entry, &mut dirty);
+            stats.serial_events += 1;
+            continue;
+        }
+        let pos = *pos;
+        let (_, entry) = buffered.next().expect("peeked entry");
+        if let SimEvent::Arrival(idx) = entry.event {
+            let (a, spec) = spec_iter.next().expect("one speculation per arrival");
+            debug_assert_eq!(a.pos, pos, "speculation out of step with the window");
+            debug_assert_eq!(a.idx, idx);
+            if dirty.admits(spec.interval.as_ref()) {
+                commit_fast(sim, entry, &a, spec);
+                stats.fast_commits += 1;
+            } else {
+                // Conflict: discard the speculated work entirely and
+                // re-execute the arrival through the sequential path
+                // (with the prefetched request — never a second take).
+                let now = entry.at.as_units();
+                sim.dispatch_with(entry, |w, ctx, _event| {
+                    w.end_time = w.end_time.max(now);
+                    w.arrival_with_vm(idx, &a.vm, now, ctx);
+                });
+                stats.rollbacks += 1;
+            }
+            taint_from_arrival(sim.world(), idx, &mut dirty);
+        } else {
+            commit_serial(sim, entry, &mut dirty);
+            stats.serial_events += 1;
+        }
+    }
+    debug_assert!(spec_iter.next().is_none(), "unconsumed speculation");
+    stats
+}
+
+/// Apply a validated speculation without re-running the search: replicate
+/// `World::handle`'s preamble, absorb the worker-measured timing, adopt
+/// the post-call cursors and work delta, replay the placement and exact
+/// flow hops, then run the shared `finish_arrival` tail.
+fn commit_fast(
+    sim: &mut Simulation<DdcWorld>,
+    entry: QueueEntry<SimEvent>,
+    a: &ArrivalSpec,
+    spec: Speculation,
+) {
+    let Speculation {
+        outcome,
+        sched,
+        interval: _,
+        elapsed,
+    } = spec;
+    let (idx, vm) = (a.idx, &a.vm);
+    let now = entry.at.as_units();
+    sim.dispatch_with(entry, move |w, ctx, _event| {
+        w.end_time = w.end_time.max(now);
+        w.sched.absorb(elapsed);
+        w.scheduler.adopt_cursors(&sched);
+        w.scheduler.add_work(*sched.work());
+        if let ScheduleOutcome::Assigned(asg) = &outcome {
+            w.cluster
+                .take_placement(&asg.placement)
+                .expect("validated speculation: placement must replay");
+            w.net
+                .replay_vm(&asg.network)
+                .expect("validated speculation: flow hops must replay");
+        }
+        w.finish_arrival(idx, vm, outcome, now, ctx);
+    });
+}
+
+/// Record the dirt a just-committed arrival produced, derived from the
+/// realized outcome (identical for fast and rolled-back commits): the
+/// assignment slot is occupied iff the VM was admitted.
+fn taint_from_arrival(world: &DdcWorld, idx: u32, dirty: &mut DirtySet) {
+    match world.assignment(idx) {
+        Some(a) if a.used_fallback || !a.intra_rack => dirty.poisoned = true,
+        Some(a) => {
+            dirty.cursor_moved = true;
+            for r in a.placement.racks(&world.cluster) {
+                dirty.racks.insert(r);
+            }
+        }
+        // Dropped: the schedule call rolled every probe back — no rack,
+        // cursor or network state changed (only write-only counters).
+        None => {}
+    }
+}
+
+/// Dispatch a non-arrival event through the ordinary sequential handler
+/// and record its dirt.
+fn commit_serial(
+    sim: &mut Simulation<DdcWorld>,
+    entry: QueueEntry<SimEvent>,
+    dirty: &mut DirtySet,
+) {
+    match entry.event {
+        SimEvent::Arrival(_) => unreachable!("arrivals take the speculation path"),
+        SimEvent::Departure(idx) => {
+            // Racks this departure frees — captured before dispatch, since
+            // the handler consumes the assignment. `None` means the VM was
+            // tombstoned or is in transit: only fault bookkeeping mutates.
+            let freed: Option<Vec<RackId>> = {
+                let w = sim.world();
+                w.assignment(idx).map(|a| a.placement.racks(&w.cluster))
+            };
+            sim.dispatch_entry(entry);
+            if let Some(racks) = freed {
+                for r in racks {
+                    dirty.racks.insert(r);
+                }
+            }
+        }
+        SimEvent::RackFail(_)
+        | SimEvent::RackRepair(_)
+        | SimEvent::TrunkDown { .. }
+        | SimEvent::TrunkUp { .. }
+        | SimEvent::XcvrDown { .. }
+        | SimEvent::XcvrUp { .. }
+        | SimEvent::Migrate(_) => {
+            // Rack membership, link state or the scheduler itself may
+            // change — outside the rack-granular read model.
+            sim.dispatch_entry(entry);
+            dirty.poisoned = true;
+        }
+    }
+}

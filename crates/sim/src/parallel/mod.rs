@@ -1,0 +1,258 @@
+//! Optimistic rack-partitioned parallel execution of the single-run DES
+//! hot loop.
+//!
+//! The sequential engine dispatches one event at a time; the dominant cost
+//! per event is the scheduler's rack scan on arrivals. This module drains
+//! the two-lane queue in bounded windows (≤ [`WINDOW`] events), prefetches
+//! the window's [`risa_workload::VmRequest`]s, **speculates every arrival's
+//! scheduling decision in parallel** against the window-start state on the
+//! resident `rayon` pool, and then commits the window serially in exact
+//! canonical `(time, seq)` order:
+//!
+//! * a speculated decision whose *read set* (for RISA/RISA-BF intra-rack
+//!   admits, the wrapping rack interval `[round-robin cursor, chosen
+//!   rack]`; for everything else, the whole cluster) is disjoint from the
+//!   racks dirtied by earlier commits in the window **fast-commits**: the
+//!   validated placement and flow hops are replayed without re-running the
+//!   search (see [`commit`]);
+//! * a conflicted decision **rolls back**: the speculated work is
+//!   discarded entirely and the arrival re-executes serially through the
+//!   ordinary [`crate::DdcWorld`] path.
+//!
+//! Because commits happen one at a time in the canonical order, and every
+//! rolled-back event re-executes the sequential code, reports, event
+//! traces and checkpoints are **byte-identical to the sequential engine at
+//! any thread count** (`tests/hot_path_differential.rs` pins this across
+//! the full workload × FEL × arrival-pipeline × faults matrix; the
+//! wall-clock `sched_seconds` field is the one exclusion, and even its
+//! sampling *structure* is reproduced exactly — see `SchedTimer::absorb`).
+//!
+//! Conflict-rate economics (quantified by `benches/des_parallel.rs` and
+//! the [`SpeculationReport`] block): RISA admits serialize on the shared
+//! round-robin cursor — every committed admit advances it, invalidating
+//! the other outstanding admit speculations of the window — so admit-heavy
+//! phases degrade toward serial execution plus validation overhead. Drops,
+//! however, mutate nothing (a failed `try_rack` rolls every probe back and
+//! never commits cursors), so the saturated phase of a run — where each
+//! drop is a full O(racks) scan plus the super-rack fallback, the most
+//! expensive events of the whole simulation — parallelizes cleanly.
+
+mod commit;
+mod view;
+
+use crate::world::{DdcWorld, SimEvent};
+use risa_des::{QueueEntry, RunOutcome, SimTime, Simulation};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Maximum events drained per window. Bounds both the executor-held event
+/// buffer and the staleness of speculation (everything speculates against
+/// the window-start state, so wider windows raise the conflict rate).
+pub(crate) const WINDOW: usize = 256;
+
+/// Arrivals speculated per cluster/network clone. One pool task clones the
+/// window-start cluster and network once, then speculates its chunk's
+/// arrivals sequentially with exact undo between them — amortizing the
+/// clone cost over the chunk while every decision still reads the
+/// window-start state exactly.
+pub(crate) const SPEC_CHUNK: usize = 32;
+
+/// How the single-run event loop executes (builder
+/// [`crate::SimulationBuilder::exec`], `risa-cli run --exec`, or the
+/// `RISA_EXEC` environment variable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecMode {
+    /// Dispatch events one at a time — the oracle path.
+    Sequential,
+    /// Windowed optimistic parallel execution (this module): speculate
+    /// arrival decisions on the thread pool, commit in canonical order,
+    /// roll conflicts back to the sequential path. Byte-identical output;
+    /// the report gains a [`SpeculationReport`] block.
+    Speculative,
+}
+
+impl ExecMode {
+    /// Every mode, for sweeps and differential tests.
+    pub const ALL: [ExecMode; 2] = [ExecMode::Sequential, ExecMode::Speculative];
+
+    /// Mode selected by the `RISA_EXEC` environment variable
+    /// (`sequential` | `speculative`), defaulting to
+    /// [`ExecMode::Sequential`]. Panics on an unrecognized value rather
+    /// than silently running the wrong engine.
+    pub fn from_env() -> ExecMode {
+        // risa-lint: allow(env_read) — selects the execution engine; differential tests prove the choice never changes a report byte
+        match std::env::var("RISA_EXEC") {
+            Err(_) => ExecMode::Sequential,
+            Ok(v) => v.parse().unwrap_or_else(|e| panic!("RISA_EXEC: {e}")),
+        }
+    }
+}
+
+impl FromStr for ExecMode {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "sequential" => Ok(ExecMode::Sequential),
+            "speculative" => Ok(ExecMode::Speculative),
+            other => Err(format!(
+                "unknown exec mode '{other}' (sequential|speculative)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for ExecMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ExecMode::Sequential => "sequential",
+            ExecMode::Speculative => "speculative",
+        })
+    }
+}
+
+/// Counters of the speculative executor, reported under the `speculation`
+/// key of [`crate::RunReport`] (absent on sequential runs).
+///
+/// Every field is a function of window composition and canonical commit
+/// order only — chunking is fixed and validity is decided serially at
+/// commit time — so the counts are **identical at any thread count**
+/// (asserted by `tests/hot_path_differential.rs`). The accounting
+/// identity `fast_commits + rollbacks + serial_events == window_events`
+/// plus merged-in events holds per window.
+///
+/// Window composition *is* horizon-dependent, though: a `run_until`
+/// horizon (or checkpoint split) truncates the window at the boundary,
+/// and a shorter window accumulates less dirt — so the
+/// `fast_commits`/`rollbacks` split may differ between an uninterrupted
+/// run and the same run resumed from a checkpoint. The totals
+/// (`speculated`, and `fast_commits + rollbacks`) and every simulation
+/// result stay byte-identical either way.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpeculationReport {
+    /// Windows drained from the queue.
+    pub windows: u64,
+    /// Events drained into windows (excludes events that handlers
+    /// scheduled *into* a window mid-commit; those count as
+    /// [`SpeculationReport::serial_events`]).
+    pub window_events: u64,
+    /// Arrival decisions speculated on the pool.
+    pub speculated: u64,
+    /// Speculations that survived conflict detection and fast-committed.
+    pub fast_commits: u64,
+    /// Speculations invalidated by an earlier commit in their window and
+    /// re-executed serially.
+    pub rollbacks: u64,
+    /// Events committed through the ordinary sequential handler:
+    /// departures, fault machinery, and handler-scheduled events merged
+    /// into the window mid-commit.
+    pub serial_events: u64,
+}
+
+impl SpeculationReport {
+    /// Fold one window's counters into the running totals.
+    pub(crate) fn merge(&mut self, d: &SpeculationReport) {
+        self.windows += d.windows;
+        self.window_events += d.window_events;
+        self.speculated += d.speculated;
+        self.fast_commits += d.fast_commits;
+        self.rollbacks += d.rollbacks;
+        self.serial_events += d.serial_events;
+    }
+}
+
+/// Drive `sim` to `horizon` (inclusive, like [`Simulation::run_until`])
+/// with the windowed optimistic executor. Every window fully commits
+/// before this returns, so the queue and world are always in a state the
+/// sequential engine could have produced — checkpoints taken between
+/// calls are valid. Stop requests are honoured at window boundaries
+/// (the DDC world never issues them; the granularity is documented on
+/// [`crate::DdcSimulation::run_until`]).
+pub(crate) fn run_speculative(sim: &mut Simulation<DdcWorld>, horizon: SimTime) -> RunOutcome {
+    sim.clear_stop_request();
+    loop {
+        if sim.stop_requested() {
+            return RunOutcome::Stopped;
+        }
+        // Drain up to WINDOW entries at or before the horizon. Everything
+        // left in the queue sorts after everything drained.
+        let mut window: Vec<QueueEntry<SimEvent>> = Vec::with_capacity(WINDOW);
+        while window.len() < WINDOW {
+            match sim.peek_key() {
+                Some((t, _)) if t <= horizon => {
+                    window.push(sim.pop_entry().expect("peeked entry"));
+                }
+                _ => break,
+            }
+        }
+        if window.is_empty() {
+            return match sim.peek_key() {
+                None => RunOutcome::Exhausted,
+                Some(_) => RunOutcome::HorizonReached,
+            };
+        }
+        // Prefetch the window's VM requests in canonical order — which is
+        // ascending VM-index order, so the streaming cursor sees exactly
+        // the `next()` sequence the sequential run performs.
+        let mut arrivals: Vec<view::ArrivalSpec> = Vec::new();
+        {
+            let world = sim.world_mut();
+            for (pos, entry) in window.iter().enumerate() {
+                if let SimEvent::Arrival(idx) = entry.event {
+                    let vm = world.source.take(idx, &world.cfg.topology);
+                    arrivals.push(view::ArrivalSpec { pos, idx, vm });
+                }
+            }
+        }
+        // Speculate every arrival against the window-start state, in
+        // parallel, then commit the window serially in canonical order.
+        let specs = view::speculate(sim.world(), &arrivals);
+        let delta = commit::commit_window(sim, window, arrivals, specs);
+        sim.world_mut()
+            .speculation
+            .as_mut()
+            .expect("speculative runs carry a SpeculationReport")
+            .merge(&delta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_parses_and_displays() {
+        assert_eq!(
+            "sequential".parse::<ExecMode>().unwrap(),
+            ExecMode::Sequential
+        );
+        assert_eq!(
+            "Speculative".parse::<ExecMode>().unwrap(),
+            ExecMode::Speculative
+        );
+        assert!("parallel".parse::<ExecMode>().is_err());
+        for mode in ExecMode::ALL {
+            assert_eq!(mode.to_string().parse::<ExecMode>().unwrap(), mode);
+        }
+    }
+
+    #[test]
+    fn report_merge_accumulates() {
+        let mut total = SpeculationReport::default();
+        let d = SpeculationReport {
+            windows: 1,
+            window_events: 10,
+            speculated: 7,
+            fast_commits: 5,
+            rollbacks: 2,
+            serial_events: 3,
+        };
+        total.merge(&d);
+        total.merge(&d);
+        assert_eq!(total.windows, 2);
+        assert_eq!(total.window_events, 20);
+        assert_eq!(total.fast_commits, 10);
+        assert_eq!(total.rollbacks, 4);
+        assert_eq!(total.serial_events, 6);
+    }
+}

@@ -1,0 +1,134 @@
+//! The speculation phase: copy-on-write views and pool workers.
+//!
+//! Each pool task owns one *chunk view* — a clone of the window-start
+//! cluster and network — and speculates its chunk's arrivals sequentially
+//! against it, undoing each admitted placement before the next arrival so
+//! every decision reads the window-start state **exactly** (validity at
+//! commit time is then a pure function of what earlier commits dirtied;
+//! see `super::commit`). The scheduler is cloned per arrival via
+//! [`Scheduler::speculative_clone`], which zeroes the work counters so the
+//! post-call clone *is* the work delta of that one call.
+//!
+//! This module mutates only its private clones (through the scheduler's
+//! own entry points); all mutation of the real world happens in the
+//! commit layer. The `speculation_purity` lint rule in `risa-lint` pins
+//! that boundary: raw placement/flow mutators are flagged everywhere in
+//! `sim/src/parallel` except `commit.rs`.
+
+use super::SPEC_CHUNK;
+use crate::world::DdcWorld;
+use rayon::prelude::*;
+use risa_network::NetworkState;
+use risa_sched::{Algorithm, ScheduleOutcome, Scheduler};
+use risa_topology::{Cluster, RackId, RackInterval, ResourceKind, TopologyConfig};
+use risa_workload::VmRequest;
+use std::time::{Duration, Instant};
+
+/// One arrival drained into the current window, with its prefetched
+/// request. `pos` is the entry's position in the window buffer, used to
+/// re-align speculation results with the canonical commit order.
+pub(super) struct ArrivalSpec {
+    /// Position of the arrival within the drained window.
+    pub(super) pos: usize,
+    /// VM index (the `Arrival(idx)` payload).
+    pub(super) idx: u32,
+    /// The request, prefetched at window-drain time (the serial rollback
+    /// path must *not* pull it from the source again).
+    pub(super) vm: VmRequest,
+}
+
+/// A speculated scheduling decision, produced on a pool worker.
+pub(super) struct Speculation {
+    /// The decision taken against the window-start state.
+    pub(super) outcome: ScheduleOutcome,
+    /// The post-call scheduler clone: its cursors are the exact state the
+    /// real scheduler reaches by making this decision, and its work
+    /// counters are the delta of this one call.
+    pub(super) sched: Scheduler,
+    /// The racks this decision *read*, when that set is an interval: the
+    /// RISA round-robin probe `[cursor, chosen rack]` of an intra-rack,
+    /// non-fallback admit. `None` means the decision read the whole
+    /// cluster (NULB/NALB, drops, fallback and inter-rack admits) and
+    /// stays valid only if nothing at all was dirtied before it commits.
+    pub(super) interval: Option<RackInterval>,
+    /// Worker-measured duration of the `schedule` call, absorbed into the
+    /// world's `SchedTimer` on fast commit.
+    pub(super) elapsed: Duration,
+}
+
+/// The `Sync` window-start state workers speculate against (the world
+/// itself is not `Sync` — the streaming source owns a prefetch task).
+#[derive(Clone, Copy)]
+struct S0<'a> {
+    cluster: &'a Cluster,
+    net: &'a NetworkState,
+    scheduler: &'a Scheduler,
+    topo: &'a TopologyConfig,
+}
+
+/// Speculate every window arrival against the window-start state of
+/// `world`, in parallel chunks on the resident pool. Results are in
+/// arrival (= canonical) order.
+pub(super) fn speculate(world: &DdcWorld, arrivals: &[ArrivalSpec]) -> Vec<Speculation> {
+    if arrivals.is_empty() {
+        return Vec::new();
+    }
+    let s0 = S0 {
+        cluster: &world.cluster,
+        net: &world.net,
+        scheduler: &world.scheduler,
+        topo: &world.cfg.topology,
+    };
+    let chunks: Vec<&[ArrivalSpec]> = arrivals.chunks(SPEC_CHUNK).collect();
+    chunks
+        .par_iter()
+        .flat_map(|chunk| speculate_chunk(s0, chunk))
+        .collect()
+}
+
+/// Speculate one chunk on one worker: clone the cluster and network once,
+/// run each arrival's schedule call on a fresh scheduler clone, and undo
+/// admitted placements between arrivals so every decision reads the
+/// window-start state.
+fn speculate_chunk(s0: S0<'_>, chunk: &[ArrivalSpec]) -> Vec<Speculation> {
+    let mut cluster = s0.cluster.clone();
+    let mut net = s0.net.clone();
+    let algo = s0.scheduler.algorithm();
+    let probe_is_interval = matches!(algo, Algorithm::Risa | Algorithm::RisaBf);
+    chunk
+        .iter()
+        .map(|a| {
+            let mut sched = s0.scheduler.speculative_clone();
+            let cursor0 = sched.rr_cursor();
+            let demand = a.vm.demand(s0.topo);
+            // risa-lint: allow(wall_clock) — workers always time the speculated call; the duration feeds SchedTimer::absorb only on fast commit, reproducing the sequential sampling structure exactly
+            let t0 = Instant::now();
+            let outcome = sched.schedule(&mut cluster, &mut net, &demand);
+            let elapsed = t0.elapsed();
+            let interval = match &outcome {
+                ScheduleOutcome::Assigned(asg)
+                    if probe_is_interval && asg.intra_rack && !asg.used_fallback =>
+                {
+                    // The round-robin probe visited exactly the racks from
+                    // the cursor to the admitting rack, wrapping once —
+                    // skipped non-pool racks included (their *membership*
+                    // was read).
+                    let chosen = cluster.rack_of(asg.placement.grant(ResourceKind::Cpu).box_id);
+                    Some(RackInterval::new(RackId(cursor0), chosen))
+                }
+                _ => None,
+            };
+            // Exact undo: restore the chunk view to the window-start
+            // state for the next arrival. Drops left it untouched.
+            if let Some(asg) = outcome.assigned() {
+                Scheduler::release(&mut cluster, &mut net, asg);
+            }
+            Speculation {
+                outcome,
+                sched,
+                interval,
+                elapsed,
+            }
+        })
+        .collect()
+}

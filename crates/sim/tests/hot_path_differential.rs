@@ -31,13 +31,23 @@
 //! CSV trace-file reader (`WorkloadSpec::TraceCsv`) through the
 //! streaming pipeline and pins it to the generator run's bytes.
 //!
+//! PR 10 added the **optimistic parallel executor** lane
+//! (`ExecMode::Speculative`): arrival decisions speculated on the pool
+//! and committed serially in canonical order must replay into the
+//! sequential engine's exact bytes — report JSON (modulo the
+//! speculation counter block, which only that mode emits) **and** event
+//! dispatch order — across both canonical traces, FEL backends, arrival
+//! pipelines, faults off/on, and 1 vs 8 pool threads, including through
+//! a checkpoint/resume split.
+//!
 //! CI runs this file under `RISA_FEL=heap` / `RISA_FEL=calendar`,
-//! `RISA_ARRIVALS=streaming` and `RISA_FAULTS=1` so no env toggle can rot.
+//! `RISA_ARRIVALS=streaming`, `RISA_FAULTS=1` and `RISA_EXEC=speculative`
+//! so no env toggle can rot.
 
 use rayon::with_num_threads;
 use risa_sim::{
-    Algorithm, ArrivalMode, Checkpoint, DdcSimulation, FaultSpec, FelKind, RunOutcome, RunReport,
-    SimulationBuilder, WorkloadSpec,
+    Algorithm, ArrivalMode, Checkpoint, DdcSimulation, ExecMode, FaultSpec, FelKind, RunOutcome,
+    RunReport, SimulationBuilder, WorkloadSpec,
 };
 use risa_workload::{AzureSubset, SyntheticConfig};
 
@@ -283,6 +293,24 @@ fn build_cfg(
 
 /// Full uninterrupted run: canonical report JSON, every dispatched event
 /// rendered, and the simulated duration (for picking a mid-run horizon).
+/// Collapse the speculation counters to their horizon-invariant
+/// combinations. Under `RISA_EXEC=speculative` the builder-default runs
+/// of the checkpoint matrix carry a `SpeculationReport`, and window
+/// composition is horizon-dependent (see its doc): the `run_until` split
+/// truncates a window at the checkpoint boundary, shifting `windows` and
+/// the fast/rollback split — while `speculated`, `serial_events`,
+/// fast + rollback, and the total event count stay fixed. (The dedicated
+/// `checkpoint_under_speculation_resumes_byte_identically` leg pins those
+/// invariants explicitly with the counters un-collapsed.)
+fn collapse_speculation(report: &mut RunReport) {
+    if let Some(s) = report.speculation.as_mut() {
+        s.windows = 0;
+        s.window_events = s.speculated + s.serial_events;
+        s.rollbacks = s.speculated;
+        s.fast_commits = 0;
+    }
+}
+
 fn uninterrupted(
     spec: &WorkloadSpec,
     fel: FelKind,
@@ -293,6 +321,7 @@ fn uninterrupted(
     sim.enable_trace(TRACE_CAP);
     let mut report = sim.run();
     report.sched_seconds = 0.0;
+    collapse_speculation(&mut report);
     let trace = sim.trace().expect("trace enabled");
     assert_eq!(trace.recorded(), trace.len() as u64, "trace evicted");
     let events = trace.entries().map(ToString::to_string).collect();
@@ -326,6 +355,7 @@ fn checkpointed(
     resumed.enable_trace(TRACE_CAP);
     let mut report = resumed.run();
     report.sched_seconds = 0.0;
+    collapse_speculation(&mut report);
 
     let prefix = first.trace().expect("trace enabled");
     assert_eq!(prefix.recorded(), prefix.len() as u64, "prefix evicted");
@@ -446,4 +476,167 @@ fn builder_default_arrival_mode_follows_env() {
         .workload(WorkloadSpec::synthetic(10, 1))
         .build();
     assert_eq!(sim.arrival_mode(), expected);
+}
+
+/// `RISA_EXEC` (read when the builder gets no explicit `.exec()`) selects
+/// the executor; the CI speculative leg exercises it end to end.
+#[test]
+fn builder_default_exec_follows_env() {
+    let expected = ExecMode::from_env();
+    let sim = SimulationBuilder::new()
+        .workload(WorkloadSpec::synthetic(10, 1))
+        .build();
+    assert_eq!(sim.exec_mode(), expected);
+}
+
+/// One run under an explicit executor; the speculation counter block is
+/// stripped (it is the one report key only the speculative mode emits)
+/// and the wall-clock field zeroed, so sequential and speculative output
+/// can be compared byte-for-byte.
+fn run_exec(
+    spec: &WorkloadSpec,
+    fel: FelKind,
+    arrivals: ArrivalMode,
+    faults: bool,
+    exec: ExecMode,
+) -> (String, String) {
+    let b = SimulationBuilder::new()
+        .algorithm(Algorithm::Risa)
+        .workload(spec.clone())
+        .fel(fel)
+        .arrivals(arrivals)
+        .exec(exec);
+    let mut sim = if faults {
+        b.faults(FaultSpec::canonical())
+    } else {
+        b.faults_off()
+    }
+    .build();
+    sim.enable_trace(40_000);
+    let mut report: RunReport = sim.run();
+    report.sched_seconds = 0.0;
+    assert_eq!(
+        report.speculation.take().is_some(),
+        exec == ExecMode::Speculative,
+        "the speculation block rides exactly on speculative runs"
+    );
+    let json = serde_json::to_string(&report).expect("report serializes");
+    (json, sim.trace().expect("trace enabled").dump())
+}
+
+/// PR 10 tentpole acceptance: the optimistic parallel executor replays
+/// into the sequential engine's exact bytes — report JSON **and** full
+/// event dispatch order — on both canonical traces, across both FEL
+/// backends, both arrival pipelines, faults off/on, and 1 vs 8 pool
+/// threads.
+#[test]
+fn speculative_execution_is_byte_identical_across_modes_and_jobs() {
+    for (name, spec) in canonical_specs() {
+        for faults in [false, true] {
+            // One sequential baseline per fault setting; the other legs
+            // pin sequential cross-config identity, so every speculative
+            // run compares against this reference transitively.
+            let base = with_num_threads(1, || {
+                run_exec(
+                    &spec,
+                    FelKind::Heap,
+                    ArrivalMode::Materialized,
+                    faults,
+                    ExecMode::Sequential,
+                )
+            });
+            for fel in FelKind::ALL {
+                for arrivals in [ArrivalMode::Materialized, ArrivalMode::Streaming] {
+                    for jobs in [1usize, 8] {
+                        let got = with_num_threads(jobs, || {
+                            run_exec(&spec, fel, arrivals, faults, ExecMode::Speculative)
+                        });
+                        assert_eq!(
+                            base, got,
+                            "{name}/{fel}/{arrivals:?}/faults={faults}/jobs={jobs}: \
+                             speculative run diverged from the sequential engine"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Checkpoint under speculation: a speculative run snapshotted mid-run
+/// (windows fully commit before control returns, so the snapshot is a
+/// clean sequential-equivalent state), serialized to JSON, and resumed
+/// must replay into the uninterrupted speculative run's exact bytes.
+/// The one sanctioned difference is the `fast_commits`/`rollbacks`
+/// *split*: the horizon truncates a window at the boundary, and a
+/// shorter window accumulates less dirt (see the `SpeculationReport`
+/// docs) — the totals and every simulation result still match.
+#[test]
+fn checkpoint_under_speculation_resumes_byte_identically() {
+    let spec = WorkloadSpec::Synthetic(SyntheticConfig::small(6000, 9));
+    let mut base = SimulationBuilder::new()
+        .algorithm(Algorithm::Risa)
+        .workload(spec.clone())
+        .exec(ExecMode::Speculative)
+        .faults_off()
+        .build();
+    base.enable_trace(TRACE_CAP);
+    let mut base_report = base.run();
+    base_report.sched_seconds = 0.0;
+    let base_spec = base_report.speculation.take().expect("counters present");
+    let base_json = serde_json::to_string(&base_report).expect("report serializes");
+    let base_trace = base.trace().expect("trace enabled");
+    let base_events: Vec<String> = base_trace.entries().map(ToString::to_string).collect();
+    let t = base_report.sim_duration * 0.4;
+
+    let mut first = SimulationBuilder::new()
+        .algorithm(Algorithm::Risa)
+        .workload(spec)
+        .exec(ExecMode::Speculative)
+        .faults_off()
+        .build();
+    first.enable_trace(TRACE_CAP);
+    assert_eq!(first.run_until(t), RunOutcome::HorizonReached);
+    let cp = Checkpoint::from_json(&first.checkpoint().to_json()).expect("round-trips");
+    let mut resumed = cp.resume();
+    assert_eq!(
+        resumed.exec_mode(),
+        ExecMode::Speculative,
+        "the recipe pins the executor across resume"
+    );
+    resumed.enable_trace(TRACE_CAP);
+    let mut report = resumed.run();
+    report.sched_seconds = 0.0;
+    let resumed_spec = report.speculation.take().expect("counters survive resume");
+    let mut events: Vec<String> = first
+        .trace()
+        .expect("trace enabled")
+        .entries()
+        .map(ToString::to_string)
+        .collect();
+    events.extend(
+        resumed
+            .trace()
+            .expect("trace enabled")
+            .entries()
+            .map(ToString::to_string),
+    );
+    assert_eq!(
+        base_json,
+        serde_json::to_string(&report).expect("report serializes"),
+        "resumed speculative report diverged"
+    );
+    assert_eq!(
+        base_events, events,
+        "resumed speculative event sequence diverged"
+    );
+    // Horizon-invariant counter totals: same arrivals speculated, every
+    // one still accounted; only the per-window fast/rollback split may
+    // shift with the truncated window boundary.
+    assert_eq!(base_spec.speculated, resumed_spec.speculated);
+    assert_eq!(
+        base_spec.fast_commits + base_spec.rollbacks,
+        resumed_spec.fast_commits + resumed_spec.rollbacks
+    );
+    assert!(resumed_spec.windows > 0 && resumed_spec.serial_events > 0);
 }

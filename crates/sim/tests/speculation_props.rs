@@ -1,0 +1,287 @@
+//! Conflict-detector property battery for the optimistic parallel
+//! executor (`ExecMode::Speculative`).
+//!
+//! The executor speculates arrival decisions in parallel against the
+//! window-start state and commits serially in canonical order, rolling
+//! back any speculation whose read set intersects dirt left by earlier
+//! commits in the window. The differential suite pins the headline
+//! byte-identity matrix; this battery attacks the conflict detector
+//! itself, the part whose failure mode is *silent* (a missed conflict
+//! admits a VM against stale state and only shows up as a diverged
+//! report):
+//!
+//! * randomized (seeded, deterministic) run configurations against the
+//!   sequential oracle — workload size, seed, algorithm, FEL backend and
+//!   arrival pipeline all drawn from a fixed xorshift stream;
+//! * forced-conflict scenarios: the saturating pool-spillover storm
+//!   (every admit moves the shared round-robin cursor, so consecutive
+//!   admits conflict by construction), rack-failure churn mid-window
+//!   (fault events poison the window), and an underloaded all-admit
+//!   burst (at most one intra-rack admit can fast-commit per window —
+//!   the cursor dirt serializes the rest);
+//! * counter identities: every speculated arrival either fast-commits or
+//!   rolls back, counters are thread-count invariant, and a window that
+//!   conflicts wall-to-wall degrades to exactly the serial execution.
+
+use rayon::with_num_threads;
+use risa_sim::{
+    Algorithm, ArrivalMode, ExecMode, FaultSpec, FelKind, RunReport, SimulationBuilder,
+    SpeculationReport, WorkloadSpec,
+};
+use risa_workload::SyntheticConfig;
+
+/// Deterministic xorshift64* stream — the battery's "random" source, so
+/// every run of the suite exercises the same configurations.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn pick(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+/// One run; returns (canonical report JSON with the wall-clock field
+/// zeroed and the speculation block stripped, dispatch order, counters).
+fn run(
+    spec: &WorkloadSpec,
+    algo: Algorithm,
+    fel: FelKind,
+    arrivals: ArrivalMode,
+    faults: bool,
+    exec: ExecMode,
+) -> (String, String, Option<SpeculationReport>) {
+    let b = SimulationBuilder::new()
+        .algorithm(algo)
+        .workload(spec.clone())
+        .fel(fel)
+        .arrivals(arrivals)
+        .exec(exec);
+    let mut sim = if faults {
+        b.faults(FaultSpec::canonical())
+    } else {
+        b.faults_off()
+    }
+    .build();
+    sim.enable_trace(40_000);
+    let mut report: RunReport = sim.run();
+    report.sched_seconds = 0.0;
+    let counters = report.speculation.take();
+    assert_eq!(
+        counters.is_some(),
+        exec == ExecMode::Speculative,
+        "counters ride exactly on speculative runs"
+    );
+    let json = serde_json::to_string(&report).expect("report serializes");
+    (json, sim.trace().expect("trace enabled").dump(), counters)
+}
+
+/// Every speculated arrival is accounted exactly once.
+fn assert_counter_identity(s: &SpeculationReport) {
+    assert_eq!(
+        s.fast_commits + s.rollbacks,
+        s.speculated,
+        "speculation accounting leak: {s:?}"
+    );
+    assert!(s.windows > 0);
+    // Every drained event is accounted as speculated-or-serial; events a
+    // handler schedules *into* a window mid-commit are committed serially
+    // on top of the drained count.
+    assert!(s.speculated + s.serial_events >= s.window_events);
+}
+
+/// Randomized configurations against the sequential oracle: same report
+/// bytes, same dispatch order, sane counters. Sizes stay small enough
+/// for debug CI; the canonical saturating traces are covered by the
+/// differential suite.
+#[test]
+fn randomized_windows_match_sequential_oracle() {
+    let mut rng = Rng(0x5EED_CAFE_F00D_0001);
+    for case in 0..10 {
+        let n = 200 + rng.pick(1400) as u32;
+        let seed = rng.next();
+        let algo = Algorithm::ALL[rng.pick(Algorithm::ALL.len() as u64) as usize];
+        let fel = FelKind::ALL[rng.pick(FelKind::ALL.len() as u64) as usize];
+        let arrivals = ArrivalMode::ALL[rng.pick(ArrivalMode::ALL.len() as u64) as usize];
+        let spec = WorkloadSpec::Synthetic(SyntheticConfig::small(n, seed));
+        let (seq_json, seq_order, _) = run(&spec, algo, fel, arrivals, false, ExecMode::Sequential);
+        let (spec_json, spec_order, counters) =
+            run(&spec, algo, fel, arrivals, false, ExecMode::Speculative);
+        assert_eq!(
+            seq_json, spec_json,
+            "case {case} (n={n} seed={seed:#x} {algo}/{fel}/{arrivals:?}): report diverged"
+        );
+        assert_eq!(
+            seq_order, spec_order,
+            "case {case} (n={n} seed={seed:#x} {algo}/{fel}/{arrivals:?}): dispatch order diverged"
+        );
+        assert_counter_identity(&counters.unwrap());
+    }
+}
+
+/// Pool-spillover storm: the saturating trace drives the cluster to
+/// drops, and every successful admit moves the shared round-robin
+/// cursor — the densest conflict regime the workload model produces.
+/// The run must still be byte-identical, with the conflict rate visible
+/// in the counters (most speculations roll back).
+#[test]
+fn spillover_storm_rolls_back_but_stays_identical() {
+    let spec = WorkloadSpec::Synthetic(SyntheticConfig::small(6000, 9));
+    let (seq_json, seq_order, _) = run(
+        &spec,
+        Algorithm::Risa,
+        FelKind::Heap,
+        ArrivalMode::Materialized,
+        false,
+        ExecMode::Sequential,
+    );
+    let (spec_json, spec_order, counters) = run(
+        &spec,
+        Algorithm::Risa,
+        FelKind::Heap,
+        ArrivalMode::Materialized,
+        false,
+        ExecMode::Speculative,
+    );
+    assert_eq!(seq_json, spec_json, "spillover storm: report diverged");
+    assert_eq!(seq_order, spec_order, "spillover storm: order diverged");
+    let s = counters.unwrap();
+    assert_counter_identity(&s);
+    assert!(
+        s.rollbacks > s.speculated / 2,
+        "a saturating run must be conflict-dominated, got {s:?}"
+    );
+    assert!(
+        s.fast_commits > 0,
+        "drops before first dirt still fast-commit"
+    );
+}
+
+/// Rack-failure churn mid-window: fault events poison the window dirt,
+/// so every in-flight speculation behind them must roll back rather than
+/// commit against a cluster that just lost a rack. Byte-identity against
+/// the sequential churn run is the proof the poisoning is sound.
+#[test]
+fn rack_failure_mid_window_is_byte_identical() {
+    let spec = WorkloadSpec::Synthetic(SyntheticConfig::small(6000, 9));
+    for fel in FelKind::ALL {
+        let (seq_json, seq_order, _) = run(
+            &spec,
+            Algorithm::Risa,
+            fel,
+            ArrivalMode::Materialized,
+            true,
+            ExecMode::Sequential,
+        );
+        let (spec_json, spec_order, counters) = run(
+            &spec,
+            Algorithm::Risa,
+            fel,
+            ArrivalMode::Materialized,
+            true,
+            ExecMode::Speculative,
+        );
+        assert_eq!(seq_json, spec_json, "{fel}: churn report diverged");
+        assert_eq!(seq_order, spec_order, "{fel}: churn order diverged");
+        let s = counters.unwrap();
+        assert_counter_identity(&s);
+        assert!(
+            s.serial_events > 0,
+            "fault onsets execute on the serial path: {s:?}"
+        );
+    }
+}
+
+/// All-conflicts degradation: on an underloaded all-admit burst every
+/// intra-rack admit moves the cursor, so after the first fast commit in
+/// a window every later interval read conflicts — the window degrades to
+/// (at most one fast commit plus) serial re-execution. The sharp bound:
+/// fast commits cannot exceed the window count.
+#[test]
+fn all_admit_burst_degrades_to_serial_per_window() {
+    let spec = WorkloadSpec::Synthetic(SyntheticConfig::small(500, 3));
+    let (seq_json, _, _) = run(
+        &spec,
+        Algorithm::Risa,
+        FelKind::Heap,
+        ArrivalMode::Materialized,
+        false,
+        ExecMode::Sequential,
+    );
+    let (spec_json, _, counters) = run(
+        &spec,
+        Algorithm::Risa,
+        FelKind::Heap,
+        ArrivalMode::Materialized,
+        false,
+        ExecMode::Speculative,
+    );
+    assert_eq!(seq_json, spec_json, "all-admit burst: report diverged");
+    assert!(
+        spec_json.contains("\"admitted\": 500") || spec_json.contains("\"admitted\":500"),
+        "burst must be underloaded (all admitted): {spec_json}"
+    );
+    let s = counters.unwrap();
+    assert_counter_identity(&s);
+    assert!(
+        s.fast_commits <= s.windows,
+        "at most one admit can fast-commit per window once the cursor moved: {s:?}"
+    );
+    assert_eq!(
+        s.rollbacks,
+        s.speculated - s.fast_commits,
+        "everything else degrades to serial re-execution: {s:?}"
+    );
+}
+
+/// The counters are a workload property, not a machine property: fixed
+/// chunking plus the serial canonical commit make the full report —
+/// speculation block included — byte-identical at 1 and 8 pool threads.
+#[test]
+fn speculation_counters_are_thread_count_invariant() {
+    let spec = WorkloadSpec::Synthetic(SyntheticConfig::small(3000, 11));
+    let go = || {
+        let mut sim = SimulationBuilder::new()
+            .algorithm(Algorithm::Risa)
+            .workload(spec.clone())
+            .exec(ExecMode::Speculative)
+            .faults_off()
+            .build();
+        let mut report = sim.run();
+        report.sched_seconds = 0.0;
+        serde_json::to_string(&report).expect("report serializes")
+    };
+    let one = with_num_threads(1, go);
+    let eight = with_num_threads(8, go);
+    assert!(one.contains("\"speculation\""));
+    assert_eq!(one, eight, "pool width leaked into the speculation block");
+}
+
+/// K=1 exact scheduler timing under speculation: per-call durations are
+/// measured on the workers and absorbed at commit, so the exact-mode
+/// estimate must still be a positive measured total (the Figure 11/12
+/// experiments rely on this field).
+#[test]
+fn exact_sched_timing_survives_speculation() {
+    let mut sim = SimulationBuilder::new()
+        .algorithm(Algorithm::Risa)
+        .workload(WorkloadSpec::synthetic(400, 5))
+        .sched_timing_batch(1)
+        .exec(ExecMode::Speculative)
+        .faults_off()
+        .build();
+    let report = sim.run();
+    assert!(
+        report.sched_seconds > 0.0,
+        "K=1 speculative runs must report measured scheduler time"
+    );
+    assert_counter_identity(&report.speculation.unwrap());
+}

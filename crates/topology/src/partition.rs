@@ -1,0 +1,201 @@
+//! Rack-granular partition primitives for the speculative executor.
+//!
+//! The optimistic parallel engine in `risa-sim` reasons about which racks
+//! an event *read* (the scheduler's candidate scan) and which racks prior
+//! commits in the same window *wrote*. Both sides are cheap bitsets over
+//! rack indices ([`RackSet`]), and the RISA round-robin read set is a
+//! wrapping interval of racks starting at the cursor ([`RackInterval`]).
+//! A speculated decision stays valid exactly when its read interval is
+//! disjoint from the window's dirty set.
+
+use crate::resources::RackId;
+
+/// A set of rack indices, packed 64 racks per word.
+///
+/// Sized once for a fixed topology; all operations are branch-light and
+/// allocation-free after construction, since the conflict detector calls
+/// them once per committed event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RackSet {
+    words: Vec<u64>,
+    num_racks: u16,
+}
+
+impl RackSet {
+    /// Empty set over a topology with `num_racks` racks.
+    pub fn new(num_racks: u16) -> Self {
+        RackSet {
+            words: vec![0; usize::from(num_racks).div_ceil(64)],
+            num_racks,
+        }
+    }
+
+    /// Number of racks this set is sized for.
+    pub fn num_racks(&self) -> u16 {
+        self.num_racks
+    }
+
+    /// Insert one rack.
+    pub fn insert(&mut self, rack: RackId) {
+        debug_assert!(rack.0 < self.num_racks, "rack out of range");
+        let i = usize::from(rack.0);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Membership test.
+    pub fn contains(&self, rack: RackId) -> bool {
+        let i = usize::from(rack.0);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// True when no rack is present.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of racks present.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Remove every rack, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Merge `other` into `self`.
+    pub fn union_with(&mut self, other: &RackSet) {
+        debug_assert_eq!(self.num_racks, other.num_racks);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// True when any rack of `interval` is present in `self`.
+    pub fn intersects_interval(&self, interval: RackInterval) -> bool {
+        interval.iter(self.num_racks).any(|r| self.contains(r))
+    }
+}
+
+/// A wrapping, inclusive interval of rack indices `[start, end]` modulo
+/// the rack count — the exact shape of the RISA round-robin read set: the
+/// scheduler probes racks `start, start+1, …` (wrapping at the topology
+/// edge) and stops at the first rack that admits the VM, so the racks it
+/// *observed* are precisely `[cursor, chosen]`.
+///
+/// `start == end` is the single-rack interval; wrapping intervals
+/// (`end < start`) cover `[start, n) ∪ [0, end]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RackInterval {
+    /// First rack probed (the round-robin cursor at speculation time).
+    pub start: RackId,
+    /// Last rack probed (the rack that admitted the VM).
+    pub end: RackId,
+}
+
+impl RackInterval {
+    /// Inclusive wrapping interval from `start` to `end`.
+    pub fn new(start: RackId, end: RackId) -> Self {
+        RackInterval { start, end }
+    }
+
+    /// True when `rack` lies inside the wrapping interval.
+    pub fn contains(&self, rack: RackId) -> bool {
+        if self.start.0 <= self.end.0 {
+            self.start.0 <= rack.0 && rack.0 <= self.end.0
+        } else {
+            rack.0 >= self.start.0 || rack.0 <= self.end.0
+        }
+    }
+
+    /// Number of racks covered, given the topology's rack count.
+    pub fn len(&self, num_racks: u16) -> usize {
+        if self.start.0 <= self.end.0 {
+            usize::from(self.end.0 - self.start.0) + 1
+        } else {
+            usize::from(num_racks - self.start.0) + usize::from(self.end.0) + 1
+        }
+    }
+
+    /// Iterate the covered racks in probe order.
+    pub fn iter(&self, num_racks: u16) -> impl Iterator<Item = RackId> + '_ {
+        let n = self.len(num_racks);
+        let start = self.start.0;
+        (0..n).map(move |i| RackId((start + i as u16) % num_racks))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rack_set_basics() {
+        let mut s = RackSet::new(130);
+        assert!(s.is_empty());
+        s.insert(RackId(0));
+        s.insert(RackId(63));
+        s.insert(RackId(64));
+        s.insert(RackId(129));
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(RackId(64)));
+        assert!(!s.contains(RackId(65)));
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn rack_set_union() {
+        let mut a = RackSet::new(16);
+        let mut b = RackSet::new(16);
+        a.insert(RackId(1));
+        b.insert(RackId(9));
+        a.union_with(&b);
+        assert!(a.contains(RackId(1)) && a.contains(RackId(9)));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn interval_non_wrapping() {
+        let iv = RackInterval::new(RackId(2), RackId(5));
+        assert!(iv.contains(RackId(2)) && iv.contains(RackId(5)));
+        assert!(!iv.contains(RackId(1)) && !iv.contains(RackId(6)));
+        assert_eq!(iv.len(8), 4);
+        let racks: Vec<u16> = iv.iter(8).map(|r| r.0).collect();
+        assert_eq!(racks, [2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn interval_wrapping() {
+        let iv = RackInterval::new(RackId(6), RackId(1));
+        assert!(iv.contains(RackId(6)) && iv.contains(RackId(7)));
+        assert!(iv.contains(RackId(0)) && iv.contains(RackId(1)));
+        assert!(!iv.contains(RackId(2)) && !iv.contains(RackId(5)));
+        assert_eq!(iv.len(8), 4);
+        let racks: Vec<u16> = iv.iter(8).map(|r| r.0).collect();
+        assert_eq!(racks, [6, 7, 0, 1]);
+    }
+
+    #[test]
+    fn interval_single_rack_and_full_circle() {
+        let single = RackInterval::new(RackId(3), RackId(3));
+        assert_eq!(single.len(8), 1);
+        assert!(single.contains(RackId(3)) && !single.contains(RackId(4)));
+
+        // start = end+1 wraps all the way around: every rack was probed.
+        let full = RackInterval::new(RackId(4), RackId(3));
+        assert_eq!(full.len(8), 8);
+        assert!((0..8).all(|r| full.contains(RackId(r))));
+    }
+
+    #[test]
+    fn set_interval_intersection() {
+        let mut dirty = RackSet::new(8);
+        dirty.insert(RackId(0));
+        assert!(dirty.intersects_interval(RackInterval::new(RackId(6), RackId(1))));
+        assert!(!dirty.intersects_interval(RackInterval::new(RackId(2), RackId(5))));
+        assert!(RackSet::new(8)
+            .intersects_interval(RackInterval::new(RackId(0), RackId(7)))
+            .eq(&false));
+    }
+}

@@ -3,8 +3,10 @@
 
 Usage: bench_diff.py <baseline.json> <current.json> [--threshold 0.20]
 
-Understands all three snapshot schemas the bench suite writes:
+Understands the snapshot schemas the bench suite writes (current and
+historical):
 
+  risa-bench-des/v2    events/s per (exec x arrival mode x FEL backend) cell
   risa-bench-des/v1    events/s per (arrival mode x FEL backend) cell
   risa-bench-scale/v1  ops/s per (racks x algorithm) cell
   risa-bench-gen/v1    one VMs/s cell
@@ -29,6 +31,16 @@ import sys
 
 # schema -> (display name, unit, cell extractor).
 SCHEMAS = {
+    "risa-bench-des/v2": (
+        "DES",
+        "events/s",
+        lambda doc: {
+            (f"{r.get('exec', 'sequential')}/{r['arrival_mode']}", r["fel"]): r[
+                "events_per_sec"
+            ]
+            for r in doc["runs"]
+        },
+    ),
     "risa-bench-des/v1": (
         "DES",
         "events/s",
